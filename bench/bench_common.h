@@ -1,0 +1,26 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/table.h"
+
+namespace hpcarbon::bench {
+
+inline void print_banner(const std::string& title) {
+  std::cout << "\n" << banner(title);
+}
+
+inline void print_table(const TextTable& t) { std::cout << t.to_string(); }
+
+/// "paper X, measured Y (delta D)" annotation cell.
+inline std::string vs_paper(double measured, double paper, int precision = 1) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f (paper %.*f)", precision, measured,
+                precision, paper);
+  return buf;
+}
+
+}  // namespace hpcarbon::bench

@@ -1,0 +1,58 @@
+// Figure 8 (RQ 7): carbon savings over five years after a node upgrade,
+// for three upgrade options (rows) x three average carbon intensities
+// (columns: high 400, medium 200, low 20 gCO2/kWh) x three workloads.
+//
+// Paper shape: curves start negative (embodied "tax"), cross into savings
+// in <0.5 y at high intensity, <1 y at medium, ~5 y at low; NLP sits below
+// Vision/CANDLE for the V100->A100 row.
+#include <iostream>
+
+#include "bench_common.h"
+#include "lifecycle/upgrade.h"
+
+using namespace hpcarbon;
+
+int main() {
+  bench::print_banner("Figure 8: Carbon savings after upgrade (usage 40%)");
+
+  const std::vector<double> years = {0.1, 0.25, 0.5, 1, 2, 3, 4, 5};
+  const std::pair<hw::NodeConfig, hw::NodeConfig> upgrades[3] = {
+      {hw::p100_node(), hw::v100_node()},
+      {hw::p100_node(), hw::a100_node()},
+      {hw::v100_node(), hw::a100_node()}};
+  const double intensities[3] = {400, 200, 20};
+  const char* intensity_name[3] = {"high (400 g/kWh)", "medium (200 g/kWh)",
+                                   "low (20 g/kWh)"};
+
+  for (const auto& [from, to] : upgrades) {
+    for (int c = 0; c < 3; ++c) {
+      std::cout << "\n-- " << from.name << " to " << to.name
+                << " upgrade, " << intensity_name[c]
+                << " carbon intensity --\n";
+      TextTable t({"Workload", "0.1y", "0.25y", "0.5y", "1y", "2y", "3y",
+                   "4y", "5y", "break-even (y)"});
+      for (auto s : workload::all_suites()) {
+        lifecycle::UpgradeScenario sc;
+        sc.old_node = from;
+        sc.new_node = to;
+        sc.suite = s;
+        sc.intensity = CarbonIntensity::grams_per_kwh(intensities[c]);
+        std::vector<std::string> row = {workload::to_string(s)};
+        for (double v : lifecycle::savings_curve(sc, years)) {
+          row.push_back(TextTable::pct(v, 1));
+        }
+        const auto be = lifecycle::breakeven_years(sc);
+        row.push_back(be ? TextTable::num(*be, 2) : "never");
+        t.add_row(row);
+      }
+      bench::print_table(t);
+    }
+  }
+
+  std::cout << "\nInsight 8: at high/medium intensity the embodied tax is "
+               "amortized in well under a year; on near-renewable grids "
+               "(20 g/kWh) payoff takes roughly five years — extending "
+               "hardware lifetime is then the carbon-friendly option."
+            << std::endl;
+  return 0;
+}

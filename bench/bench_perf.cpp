@@ -1,0 +1,120 @@
+// Micro-benchmarks of the framework's hot computational paths
+// (google-benchmark): grid trace generation, trace analytics, embodied
+// rollups, upgrade curves, Monte-Carlo propagation, and a full scheduler
+// run. These bound the cost of interactive use (e.g. re-running a system
+// design sweep inside an RFP loop).
+#include <benchmark/benchmark.h>
+
+#include "embodied/catalog.h"
+#include "embodied/uncertainty.h"
+#include "grid/analysis.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+#include "hw/perf.h"
+#include "lifecycle/systems.h"
+#include "lifecycle/upgrade.h"
+#include "sched/simulator.h"
+#include "sched/workload_gen.h"
+
+using namespace hpcarbon;
+
+namespace {
+
+void BM_GridTraceGeneration(benchmark::State& state) {
+  const auto spec = grid::eso();
+  for (auto _ : state) {
+    auto trace = grid::GridSimulator(spec).run();
+    benchmark::DoNotOptimize(trace.values().data());
+  }
+  state.SetItemsProcessed(state.iterations() * kHoursPerYear);
+}
+BENCHMARK(BM_GridTraceGeneration);
+
+void BM_TraceSummary(benchmark::State& state) {
+  const auto trace = grid::GridSimulator(grid::ciso()).run();
+  for (auto _ : state) {
+    auto s = grid::summarize(trace);
+    benchmark::DoNotOptimize(s.cov_percent);
+  }
+}
+BENCHMARK(BM_TraceSummary);
+
+void BM_HourlyWinnerAnalysis(benchmark::State& state) {
+  const auto traces = grid::generate_traces(grid::fig7_regions());
+  for (auto _ : state) {
+    auto w = grid::hourly_lowest_ci(traces, kJst);
+    benchmark::DoNotOptimize(w.counts.data());
+  }
+}
+BENCHMARK(BM_HourlyWinnerAnalysis);
+
+void BM_SystemEmbodiedRollup(benchmark::State& state) {
+  const auto frontier = lifecycle::frontier();
+  for (auto _ : state) {
+    auto b = lifecycle::class_breakdown(frontier);
+    benchmark::DoNotOptimize(b.by_class.data());
+  }
+}
+BENCHMARK(BM_SystemEmbodiedRollup);
+
+void BM_UpgradeSavingsCurve(benchmark::State& state) {
+  lifecycle::UpgradeScenario sc;
+  sc.old_node = hw::p100_node();
+  sc.new_node = hw::a100_node();
+  sc.suite = workload::Suite::kVision;
+  const std::vector<double> years = {0.25, 0.5, 1, 2, 3, 4, 5};
+  for (auto _ : state) {
+    auto curve = lifecycle::savings_curve(sc, years);
+    benchmark::DoNotOptimize(curve.data());
+  }
+}
+BENCHMARK(BM_UpgradeSavingsCurve);
+
+void BM_MonteCarloUncertainty(benchmark::State& state) {
+  const auto& part = embodied::processor(embodied::PartId::kMi250x);
+  const auto samples = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto r = embodied::propagate(part, embodied::UncertaintyBands{}, samples);
+    benchmark::DoNotOptimize(r.mean);
+  }
+  state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_MonteCarloUncertainty)->Arg(1024)->Arg(8192);
+
+void BM_SchedulerMonth(benchmark::State& state) {
+  const auto traces = grid::generate_traces(grid::fig7_regions());
+  std::vector<sched::Site> sites = {sched::make_site("ESO", traces[0], 12),
+                                    sched::make_site("CISO", traces[1], 12),
+                                    sched::make_site("ERCOT", traces[2], 12)};
+  sched::SchedulerSimulator sim(sites, HourOfYear(0));
+  sched::WorkloadParams wp;
+  wp.horizon_hours = 24.0 * 28;
+  const auto jobs = sched::generate_jobs(wp);
+  sched::PolicyConfig cfg;
+  cfg.policy = sched::Policy::kGreedyLowestCi;
+  for (auto _ : state) {
+    auto m = sim.run(jobs, cfg);
+    benchmark::DoNotOptimize(m.total_carbon);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(jobs.size()));
+}
+BENCHMARK(BM_SchedulerMonth);
+
+void BM_Table6Reproduction(benchmark::State& state) {
+  const auto p = hw::p100_node(), v = hw::v100_node(), a = hw::a100_node();
+  for (auto _ : state) {
+    double acc = 0;
+    for (auto s : workload::all_suites()) {
+      acc += hw::upgrade_improvement_percent(s, p, v);
+      acc += hw::upgrade_improvement_percent(s, p, a);
+      acc += hw::upgrade_improvement_percent(s, v, a);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_Table6Reproduction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

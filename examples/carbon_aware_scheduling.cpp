@@ -1,0 +1,80 @@
+// Carbon-aware scheduling demo: runs one month of synthetic jobs over three
+// regional sites (ESO / CISO / ERCOT) under each policy and prints the
+// carbon-vs-wait tradeoff plus per-user carbon-budget accounting — the
+// operational realization of the paper's Sec. 4 implications.
+//
+// Usage: ./examples/carbon_aware_scheduling
+#include <iostream>
+
+#include "core/table.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+#include "sched/simulator.h"
+#include "sched/workload_gen.h"
+
+using namespace hpcarbon;
+
+int main() {
+  // Home site: ERCOT (dirtiest of the trio); four summer weeks.
+  const auto traces = grid::generate_traces(grid::fig7_regions());
+  std::vector<sched::Site> sites = {
+      sched::make_site("ERCOT", traces[2], 12),
+      sched::make_site("ESO", traces[0], 12),
+      sched::make_site("CISO", traces[1], 12),
+  };
+  sched::SchedulerSimulator sim(sites, HourOfYear(month_start_hour(5)));
+
+  sched::WorkloadParams wp;
+  wp.horizon_hours = 24.0 * 28;
+  wp.arrival_rate_per_hour = 2.0;
+  wp.user_count = 6;
+  const auto jobs = sched::generate_jobs(wp);
+
+  std::cout << banner("Carbon-aware scheduling across ERCOT / ESO / CISO");
+  std::cout << jobs.size() << " jobs over 28 days from June 1; home site: "
+            << "ERCOT\n\n";
+
+  const std::pair<const char*, sched::Policy> policies[] = {
+      {"fcfs-local", sched::Policy::kFcfsLocal},
+      {"greedy-lowest-ci", sched::Policy::kGreedyLowestCi},
+      {"threshold-delay", sched::Policy::kThresholdDelay},
+      {"budget-aware", sched::Policy::kBudgetAware},
+  };
+
+  TextTable t({"Policy", "Carbon (kg)", "Mean wait (h)", "Remote jobs",
+               "Utilization"});
+  for (const auto& [label, policy] : policies) {
+    sched::PolicyConfig cfg;
+    cfg.policy = policy;
+    cfg.ci_threshold_g_per_kwh = 320;
+    cfg.max_delay_hours = 12;
+    cfg.user_budget = Mass::kilograms(250);
+    const auto m = sim.run(jobs, cfg);
+    t.add_row({label, TextTable::num(m.total_carbon.to_kilograms(), 1),
+               TextTable::num(m.mean_wait_hours, 2),
+               std::to_string(m.remote_dispatches),
+               TextTable::num(m.utilization, 2)});
+  }
+  std::cout << t.to_string();
+
+  // Budget accounting detail for the budget-aware run.
+  sched::PolicyConfig cfg;
+  cfg.policy = sched::Policy::kBudgetAware;
+  cfg.user_budget = Mass::kilograms(250);
+  sched::CarbonBudgetLedger ledger;
+  sim.run(jobs, cfg, nullptr, &ledger);
+  std::cout << "\nPer-user carbon-budget ledger (allocation 250 kg):\n";
+  TextTable ut({"User", "spent (kg)", "remaining %", "status"});
+  for (int u = 0; u < wp.user_count; ++u) {
+    const std::string user = "user" + std::to_string(u);
+    ut.add_row({user, TextTable::num(ledger.spent(user).to_kilograms(), 1),
+                TextTable::num(100 * ledger.remaining_fraction(user), 1),
+                ledger.is_overdrawn(user) ? "OVERDRAWN" : "ok"});
+  }
+  std::cout << ut.to_string();
+
+  std::cout << "\nGreedy cross-region placement cuts carbon at zero wait "
+               "cost; threshold-delay trades wait time instead — the "
+               "incentive the paper's carbon budgets are designed to price.\n";
+  return 0;
+}

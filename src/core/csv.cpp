@@ -1,0 +1,99 @@
+#include "core/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace hpcarbon {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      cells.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  cells.push_back(cur);
+  return cells;
+}
+
+bool parse_double(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+CsvData parse_csv(const std::string& text) {
+  CsvData data;
+  std::istringstream in(text);
+  std::string line;
+  bool first = true;
+  std::size_t expected_cols = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line == "\r") continue;
+    auto cells = split_line(line);
+    if (first) {
+      first = false;
+      bool all_numeric = true;
+      double tmp;
+      for (const auto& c : cells) {
+        if (!parse_double(c, &tmp)) {
+          all_numeric = false;
+          break;
+        }
+      }
+      expected_cols = cells.size();
+      if (!all_numeric) {
+        data.header = cells;
+        continue;
+      }
+    }
+    HPC_REQUIRE(cells.size() == expected_cols, "ragged CSV row");
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& c : cells) {
+      double v;
+      HPC_REQUIRE(parse_double(c, &v), "non-numeric CSV cell: " + c);
+      row.push_back(v);
+    }
+    data.rows.push_back(std::move(row));
+  }
+  return data;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HPC_REQUIRE(in.good(), "cannot open file: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  HPC_REQUIRE(out.good(), "cannot open file for writing: " + path);
+  out << content;
+}
+
+std::string to_csv_column(const std::string& name,
+                          const std::vector<double>& values) {
+  std::ostringstream out;
+  out << name << '\n';
+  for (double v : values) out << v << '\n';
+  return out.str();
+}
+
+}  // namespace hpcarbon

@@ -1,0 +1,33 @@
+// CSV import/export for carbon-intensity traces and bench outputs.
+//
+// Real deployments would feed measured hourly data (Electricity Maps / UK
+// ESO API exports) straight into the analysis; this module provides the
+// interchange point. Format: optional header row, comma separation, no
+// quoting (the data is purely numeric plus simple labels).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcarbon {
+
+struct CsvData {
+  std::vector<std::string> header;           // empty if no header detected
+  std::vector<std::vector<double>> rows;     // numeric payload
+};
+
+/// Parse CSV text. If the first row contains any non-numeric cell, it is
+/// treated as the header. Throws hpcarbon::Error on malformed numeric cells
+/// or ragged rows.
+CsvData parse_csv(const std::string& text);
+
+/// Read a whole file; throws hpcarbon::Error if it cannot be opened.
+std::string read_file(const std::string& path);
+void write_file(const std::string& path, const std::string& content);
+
+/// Serialise a single numeric column with a header name.
+std::string to_csv_column(const std::string& name,
+                          const std::vector<double>& values);
+
+}  // namespace hpcarbon

@@ -1,0 +1,34 @@
+// Error handling primitives shared across hpcarbon.
+//
+// The library throws `hpcarbon::Error` (a std::runtime_error subclass) for
+// all precondition violations. Benches and examples catch it at the top
+// level; tests assert on it.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpcarbon {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* expr, const char* file, int line,
+                              const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) +
+              ": requirement failed: " + expr + (msg.empty() ? "" : " — ") +
+              msg);
+}
+}  // namespace detail
+
+}  // namespace hpcarbon
+
+// Precondition check that survives in release builds. Use for API-boundary
+// validation (user-supplied configs), not for internal invariants.
+#define HPC_REQUIRE(cond, msg)                                      \
+  do {                                                              \
+    if (!(cond)) ::hpcarbon::detail::fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,66 @@
+// Descriptive statistics used by the regional carbon-intensity analysis
+// (Fig. 6 box plots + coefficient of variation) and by the test suite's
+// property checks.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hpcarbon::stats {
+
+double mean(std::span<const double> xs);
+/// Sample variance (n-1 denominator); 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min(std::span<const double> xs);
+double max(std::span<const double> xs);
+
+/// Coefficient of variation as a percentage: 100 * stddev / mean.
+/// This is exactly the metric of Fig. 6(b).
+double cov_percent(std::span<const double> xs);
+
+/// Linear-interpolation quantile (R type-7, the matplotlib/numpy default the
+/// paper's box plots were drawn with). p in [0,1].
+double quantile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+
+/// Five-number summary plus Tukey whiskers (1.5 IQR clamped to data range),
+/// i.e. the geometry of one box in Fig. 6(a).
+struct BoxStats {
+  double whisker_low = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_high = 0;
+  double mean = 0;
+  double min = 0;
+  double max = 0;
+};
+BoxStats box_stats(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// edge bins. Returns per-bin counts.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Streaming mean/variance (Welford). Used by the energy meter, which
+/// cannot buffer a full year of samples.
+class Welford {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace hpcarbon::stats

@@ -1,0 +1,66 @@
+// Minimal work-stealing-free thread pool with a parallel_for helper.
+//
+// The expensive paths in this library — generating 8760-hour grid traces for
+// many regions, Monte-Carlo uncertainty propagation, scheduler parameter
+// sweeps — are embarrassingly parallel across independent chunks, so a
+// plain blocking queue is sufficient. The pool degrades gracefully to
+// serial execution on single-core machines (parallel_for with one worker
+// simply runs inline).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hpcarbon {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 picks hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <class F>
+  std::future<void> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(
+        std::forward<F>(fn));
+    std::future<void> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for i in [begin, end), partitioned into contiguous chunks.
+  /// Blocks until all iterations complete. Exceptions from workers are
+  /// rethrown on the calling thread (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hpcarbon

@@ -1,0 +1,43 @@
+#include "core/units.h"
+
+#include <cstdio>
+
+namespace hpcarbon {
+
+namespace {
+std::string fmt(double v, const char* unit) {
+  char buf[64];
+  if (v == 0.0 || (std::fabs(v) >= 0.1 && std::fabs(v) < 10000.0)) {
+    std::snprintf(buf, sizeof(buf), "%.3g %s", v, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g %s", v, unit);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string to_string(Mass m) {
+  const double g = m.to_grams();
+  if (std::fabs(g) >= 1e6) return fmt(m.to_tonnes(), "tCO2e");
+  if (std::fabs(g) >= 1e3) return fmt(m.to_kilograms(), "kgCO2e");
+  return fmt(g, "gCO2e");
+}
+
+std::string to_string(Energy e) {
+  const double kwh = e.to_kwh();
+  if (std::fabs(kwh) >= 1e3) return fmt(e.to_mwh(), "MWh");
+  return fmt(kwh, "kWh");
+}
+
+std::string to_string(Power p) {
+  const double w = p.to_watts();
+  if (std::fabs(w) >= 1e6) return fmt(p.to_megawatts(), "MW");
+  if (std::fabs(w) >= 1e3) return fmt(p.to_kilowatts(), "kW");
+  return fmt(w, "W");
+}
+
+std::string to_string(CarbonIntensity i) {
+  return fmt(i.to_g_per_kwh(), "gCO2/kWh");
+}
+
+}  // namespace hpcarbon

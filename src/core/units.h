@@ -1,0 +1,209 @@
+// Strongly-typed physical quantities used throughout the carbon models.
+//
+// The paper's equations mix four dimensions that are easy to confuse in
+// plain-double code: power (W), energy (kWh), CO2-equivalent mass (g), and
+// carbon intensity (gCO2/kWh). Each gets a distinct value type; the only
+// permitted cross-type arithmetic mirrors the physics:
+//
+//   Energy        = Power * Hours                 (kW * h -> kWh)
+//   Mass          = CarbonIntensity * Energy      (g/kWh * kWh -> g)
+//   CarbonIntensity = Mass / Energy
+//   Power         = Energy / Hours
+//
+// All types are trivially copyable doubles under the hood; there is no
+// runtime cost relative to raw arithmetic.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+
+namespace hpcarbon {
+
+namespace detail {
+
+// CRTP base providing the ring operations every quantity supports.
+template <class Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+
+  constexpr double raw() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived::from_raw(a.value_ + b.value_);
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived::from_raw(a.value_ - b.value_);
+  }
+  friend constexpr Derived operator-(Derived a) {
+    return Derived::from_raw(-a.value_);
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived::from_raw(a.value_ * s);
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived::from_raw(a.value_ * s);
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived::from_raw(a.value_ / s);
+  }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  Derived& operator+=(Derived o) {
+    value_ += o.value_;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived o) {
+    value_ -= o.value_;
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator*=(double s) {
+    value_ *= s;
+    return static_cast<Derived&>(*this);
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value_ == b.value_;
+  }
+
+ protected:
+  constexpr explicit Quantity(double v) : value_(v) {}
+  static constexpr Derived from_raw(double v) {
+    Derived d;
+    d.value_ = v;
+    return d;
+  }
+  double value_ = 0.0;
+
+  template <class>
+  friend class Quantity;
+};
+
+}  // namespace detail
+
+/// Elapsed (simulated) time. Raw unit: hours.
+class Hours : public detail::Quantity<Hours> {
+ public:
+  constexpr Hours() = default;
+  static constexpr Hours hours(double h) { return Hours(h); }
+  static constexpr Hours minutes(double m) { return Hours(m / 60.0); }
+  static constexpr Hours seconds(double s) { return Hours(s / 3600.0); }
+  static constexpr Hours days(double d) { return Hours(d * 24.0); }
+  /// Calendar year as used by the paper's hourly analysis: 365 d = 8760 h.
+  static constexpr Hours years(double y) { return Hours(y * 8760.0); }
+
+  constexpr double count() const { return value_; }
+  constexpr double to_seconds() const { return value_ * 3600.0; }
+  constexpr double to_days() const { return value_ / 24.0; }
+  constexpr double to_years() const { return value_ / 8760.0; }
+
+ private:
+  constexpr explicit Hours(double h) : Quantity(h) {}
+  friend class detail::Quantity<Hours>;
+};
+
+/// Electrical power. Raw unit: watts.
+class Power : public detail::Quantity<Power> {
+ public:
+  constexpr Power() = default;
+  static constexpr Power watts(double w) { return Power(w); }
+  static constexpr Power kilowatts(double kw) { return Power(kw * 1e3); }
+  static constexpr Power megawatts(double mw) { return Power(mw * 1e6); }
+
+  constexpr double to_watts() const { return value_; }
+  constexpr double to_kilowatts() const { return value_ / 1e3; }
+  constexpr double to_megawatts() const { return value_ / 1e6; }
+
+ private:
+  constexpr explicit Power(double w) : Quantity(w) {}
+  friend class detail::Quantity<Power>;
+};
+
+/// Electrical energy. Raw unit: kWh (the unit of Eq. 6 in the paper).
+class Energy : public detail::Quantity<Energy> {
+ public:
+  constexpr Energy() = default;
+  static constexpr Energy kilowatt_hours(double kwh) { return Energy(kwh); }
+  static constexpr Energy watt_hours(double wh) { return Energy(wh / 1e3); }
+  static constexpr Energy megawatt_hours(double mwh) {
+    return Energy(mwh * 1e3);
+  }
+  static constexpr Energy joules(double j) { return Energy(j / 3.6e6); }
+
+  constexpr double to_kwh() const { return value_; }
+  constexpr double to_mwh() const { return value_ / 1e3; }
+  constexpr double to_joules() const { return value_ * 3.6e6; }
+
+ private:
+  constexpr explicit Energy(double kwh) : Quantity(kwh) {}
+  friend class detail::Quantity<Energy>;
+};
+
+/// CO2-equivalent mass. Raw unit: grams (the unit of Eq. 3-5).
+class Mass : public detail::Quantity<Mass> {
+ public:
+  constexpr Mass() = default;
+  static constexpr Mass grams(double g) { return Mass(g); }
+  static constexpr Mass kilograms(double kg) { return Mass(kg * 1e3); }
+  static constexpr Mass tonnes(double t) { return Mass(t * 1e6); }
+
+  constexpr double to_grams() const { return value_; }
+  constexpr double to_kilograms() const { return value_ / 1e3; }
+  constexpr double to_tonnes() const { return value_ / 1e6; }
+
+ private:
+  constexpr explicit Mass(double g) : Quantity(g) {}
+  friend class detail::Quantity<Mass>;
+};
+
+/// Carbon intensity of electricity. Raw unit: gCO2 per kWh (Eq. 6).
+class CarbonIntensity : public detail::Quantity<CarbonIntensity> {
+ public:
+  constexpr CarbonIntensity() = default;
+  static constexpr CarbonIntensity grams_per_kwh(double g) {
+    return CarbonIntensity(g);
+  }
+  constexpr double to_g_per_kwh() const { return value_; }
+
+ private:
+  constexpr explicit CarbonIntensity(double g) : Quantity(g) {}
+  friend class detail::Quantity<CarbonIntensity>;
+};
+
+// --- Cross-dimension arithmetic -------------------------------------------
+
+constexpr Energy operator*(Power p, Hours t) {
+  return Energy::kilowatt_hours(p.to_kilowatts() * t.count());
+}
+constexpr Energy operator*(Hours t, Power p) { return p * t; }
+
+constexpr Power operator/(Energy e, Hours t) {
+  return Power::kilowatts(e.to_kwh() / t.count());
+}
+
+constexpr Mass operator*(CarbonIntensity i, Energy e) {
+  return Mass::grams(i.to_g_per_kwh() * e.to_kwh());
+}
+constexpr Mass operator*(Energy e, CarbonIntensity i) { return i * e; }
+
+constexpr CarbonIntensity operator/(Mass m, Energy e) {
+  return CarbonIntensity::grams_per_kwh(m.to_grams() / e.to_kwh());
+}
+
+// --- Formatting helpers ----------------------------------------------------
+
+/// "12.3 kg", "4.56 t", "789 g" — picks a readable scale.
+std::string to_string(Mass m);
+/// "1.23 MWh", "45.6 kWh".
+std::string to_string(Energy e);
+/// "250 W", "1.2 kW", "29 MW".
+std::string to_string(Power p);
+/// "412 g/kWh".
+std::string to_string(CarbonIntensity i);
+
+}  // namespace hpcarbon

@@ -1,0 +1,292 @@
+#include "embodied/catalog.h"
+
+#include <unordered_map>
+
+#include "core/error.h"
+
+namespace hpcarbon::embodied {
+
+namespace {
+
+// --- GPUs -------------------------------------------------------------------
+
+ProcessorPart make_mi250x() {
+  ProcessorPart p;
+  p.name = "AMD MI250X";
+  p.part_name = "AMD INSTINCT MI250X";
+  p.vendor = "AMD";
+  p.release = "November 2021";
+  p.cls = PartClass::kGpu;
+  // Two Aldebaran graphics compute dies on TSMC N6.
+  p.dies = {{724.0, ProcessNode::nm6, 2}};
+  // OAM module: 2 GCDs + 8 HBM2e stacks + power stages / support ICs.
+  p.ic_count = 28;
+  p.fp64_tflops = 47.9;  // vector FP64 (AMD MI200 datasheet)
+  p.fp32_tflops = 47.9;
+  p.tdp_watts = 560;
+  p.idle_watts = 90;
+  return p;
+}
+
+ProcessorPart make_a100_pcie40() {
+  ProcessorPart p;
+  p.name = "NVIDIA A100";
+  p.part_name = "NVIDIA A100 PCIe 40GB";
+  p.vendor = "NVIDIA";
+  p.release = "May 2020";
+  p.cls = PartClass::kGpu;
+  p.dies = {{826.0, ProcessNode::nm7, 1}};  // GA100
+  p.ic_count = 20;  // die + 5 HBM2e stacks + VRM/support
+  p.fp64_tflops = 9.7;
+  p.fp32_tflops = 19.5;
+  p.tdp_watts = 250;
+  p.idle_watts = 35;
+  return p;
+}
+
+ProcessorPart make_a100_sxm4() {
+  ProcessorPart p = make_a100_pcie40();
+  p.part_name = "NVIDIA A100 SXM4 40GB";
+  p.release = "May 2020";
+  p.tdp_watts = 400;
+  p.idle_watts = 45;
+  return p;
+}
+
+ProcessorPart make_v100_sxm2() {
+  ProcessorPart p;
+  p.name = "NVIDIA V100";
+  p.part_name = "NVIDIA V100 SXM2 32GB";
+  p.vendor = "NVIDIA";
+  p.release = "March 2018";
+  p.cls = PartClass::kGpu;
+  p.dies = {{815.0, ProcessNode::nm12, 1}};  // GV100
+  p.ic_count = 15;  // die + 4 HBM2 stacks + VRM/support
+  p.fp64_tflops = 7.8;
+  p.fp32_tflops = 15.7;
+  p.tdp_watts = 300;
+  p.idle_watts = 30;
+  return p;
+}
+
+ProcessorPart make_p100_pcie() {
+  ProcessorPart p;
+  p.name = "NVIDIA P100";
+  p.part_name = "NVIDIA Tesla P100 PCIe 16GB";
+  p.vendor = "NVIDIA";
+  p.release = "April 2016";
+  p.cls = PartClass::kGpu;
+  p.dies = {{610.0, ProcessNode::nm16, 1}};  // GP100
+  p.ic_count = 12;
+  p.fp64_tflops = 4.7;
+  p.fp32_tflops = 9.3;
+  p.tdp_watts = 250;
+  p.idle_watts = 26;
+  return p;
+}
+
+// --- CPUs -------------------------------------------------------------------
+
+ProcessorPart make_epyc7763() {
+  ProcessorPart p;
+  p.name = "AMD EPYC 7763";
+  p.part_name = "AMD EPYC 7763 CPU";
+  p.vendor = "AMD";
+  p.release = "March 2021";
+  p.cls = PartClass::kCpu;
+  p.dies = {{81.0, ProcessNode::nm7, 8}};  // 8x Zen3 CCD (IO die excluded)
+  p.ic_count = 6;
+  // 64 cores x 2.45 GHz x 16 DP FLOP/cycle (2x FMA256).
+  p.fp64_tflops = 2.51;
+  p.fp32_tflops = 5.02;
+  p.tdp_watts = 280;
+  p.idle_watts = 65;
+  return p;
+}
+
+ProcessorPart make_epyc7742() {
+  ProcessorPart p;
+  p.name = "AMD EPYC 7742";
+  p.part_name = "AMD EPYC 7742 CPU";
+  p.vendor = "AMD";
+  p.release = "August 2019";
+  p.cls = PartClass::kCpu;
+  p.dies = {{74.0, ProcessNode::nm7, 8}};  // 8x Zen2 CCD
+  p.ic_count = 6;
+  p.fp64_tflops = 2.30;  // 64c x 2.25 GHz x 16
+  p.fp32_tflops = 4.61;
+  p.tdp_watts = 225;
+  p.idle_watts = 60;
+  return p;
+}
+
+ProcessorPart make_epyc7542() {
+  ProcessorPart p;
+  p.name = "AMD EPYC 7542";
+  p.part_name = "AMD EPYC 7542 CPU";
+  p.vendor = "AMD";
+  p.release = "August 2019";
+  p.cls = PartClass::kCpu;
+  p.dies = {{74.0, ProcessNode::nm7, 4}};  // 4x Zen2 CCD
+  p.ic_count = 4;
+  p.fp64_tflops = 1.49;  // 32c x 2.9 GHz x 16
+  p.fp32_tflops = 2.97;
+  p.tdp_watts = 225;
+  p.idle_watts = 55;
+  return p;
+}
+
+ProcessorPart make_xeon6240r() {
+  ProcessorPart p;
+  p.name = "Intel Xeon Gold 6240R";
+  p.part_name = "Intel Xeon Gold 6240R CPU";
+  p.vendor = "Intel";
+  p.release = "February 2020";
+  p.cls = PartClass::kCpu;
+  p.dies = {{694.0, ProcessNode::nm14, 1}};  // Cascade Lake XCC
+  p.ic_count = 4;
+  p.fp64_tflops = 1.84;  // 24c x 2.4 GHz x 32 (AVX-512)
+  p.fp32_tflops = 3.69;
+  p.tdp_watts = 165;
+  p.idle_watts = 45;
+  return p;
+}
+
+ProcessorPart make_xeon_e5_2680() {
+  ProcessorPart p;
+  p.name = "Intel Xeon E5-2680";
+  p.part_name = "Intel Xeon CPU E5-2680";
+  p.vendor = "Intel";
+  p.release = "March 2012";
+  p.cls = PartClass::kCpu;
+  p.dies = {{416.0, ProcessNode::nm32, 1}};  // Sandy Bridge EP
+  p.ic_count = 4;
+  p.fp64_tflops = 0.173;  // 8c x 2.7 GHz x 8 (AVX)
+  p.fp32_tflops = 0.346;
+  p.tdp_watts = 130;
+  p.idle_watts = 30;
+  return p;
+}
+
+// --- Memory / storage ------------------------------------------------------
+
+MemoryPart make_dram64() {
+  MemoryPart m;
+  m.name = "DRAM 64GB";
+  m.part_name = "SK Hynix 64GB DDR4";
+  m.vendor = "SK Hynix";
+  m.release = "October 2020";
+  m.cls = PartClass::kDram;
+  m.capacity_gb = 64;
+  m.epc_g_per_gb = 65.0;  // paper Sec. 2.1
+  m.bandwidth_gb_per_s = 25.6;  // DDR4-3200, one channel
+  m.ic_count = 20;  // 18 DRAM packages (ECC RDIMM) + register/PMIC
+  m.active_watts = 5.0;
+  m.idle_watts = 1.5;
+  return m;
+}
+
+MemoryPart make_nytro3530() {
+  MemoryPart m;
+  m.name = "SSD 3.2TB";
+  m.part_name = "Seagate Nytro 3530 3.2TB";
+  m.vendor = "Seagate";
+  m.release = "October 2018";
+  m.cls = PartClass::kSsd;
+  m.capacity_gb = 3200;
+  m.epc_g_per_gb = 6.21;  // paper Sec. 2.1
+  m.bandwidth_gb_per_s = 2.1;  // sequential read, SAS 12Gb/s
+  m.packaging_to_manufacturing = kStoragePackagingRatio;
+  m.active_watts = 11.0;
+  m.idle_watts = 4.5;
+  return m;
+}
+
+MemoryPart make_exos_x16() {
+  MemoryPart m;
+  m.name = "HDD 16TB";
+  m.part_name = "Seagate Exos X16 16TB";
+  m.vendor = "Seagate";
+  m.release = "June 2019";
+  m.cls = PartClass::kHdd;
+  m.capacity_gb = 16000;
+  m.epc_g_per_gb = 1.33;  // paper Sec. 2.1
+  m.bandwidth_gb_per_s = 0.261;  // max sustained transfer rate
+  m.packaging_to_manufacturing = kStoragePackagingRatio;
+  m.active_watts = 10.0;
+  m.idle_watts = 5.0;
+  return m;
+}
+
+const std::unordered_map<PartId, ProcessorPart>& processor_map() {
+  static const auto* map = new std::unordered_map<PartId, ProcessorPart>{
+      {PartId::kMi250x, make_mi250x()},
+      {PartId::kA100Pcie40, make_a100_pcie40()},
+      {PartId::kA100Sxm4_40, make_a100_sxm4()},
+      {PartId::kV100Sxm2_32, make_v100_sxm2()},
+      {PartId::kP100Pcie16, make_p100_pcie()},
+      {PartId::kEpyc7763, make_epyc7763()},
+      {PartId::kEpyc7742, make_epyc7742()},
+      {PartId::kEpyc7542, make_epyc7542()},
+      {PartId::kXeonGold6240R, make_xeon6240r()},
+      {PartId::kXeonE5_2680, make_xeon_e5_2680()},
+  };
+  return *map;
+}
+
+const std::unordered_map<PartId, MemoryPart>& memory_map() {
+  static const auto* map = new std::unordered_map<PartId, MemoryPart>{
+      {PartId::kDram64GbDdr4, make_dram64()},
+      {PartId::kSsdNytro3530_3_2Tb, make_nytro3530()},
+      {PartId::kHddExosX16_16Tb, make_exos_x16()},
+  };
+  return *map;
+}
+
+}  // namespace
+
+std::vector<PartId> table1_parts() {
+  return {PartId::kMi250x,         PartId::kA100Pcie40,
+          PartId::kV100Sxm2_32,    PartId::kEpyc7763,
+          PartId::kEpyc7742,       PartId::kXeonGold6240R,
+          PartId::kDram64GbDdr4,   PartId::kSsdNytro3530_3_2Tb,
+          PartId::kHddExosX16_16Tb};
+}
+
+std::vector<PartId> table1_processors() {
+  return {PartId::kMi250x,   PartId::kA100Pcie40, PartId::kV100Sxm2_32,
+          PartId::kEpyc7763, PartId::kEpyc7742,   PartId::kXeonGold6240R};
+}
+
+std::vector<PartId> table1_memory_storage() {
+  return {PartId::kDram64GbDdr4, PartId::kSsdNytro3530_3_2Tb,
+          PartId::kHddExosX16_16Tb};
+}
+
+bool is_processor(PartId id) {
+  return processor_map().count(id) > 0;
+}
+
+const ProcessorPart& processor(PartId id) {
+  auto it = processor_map().find(id);
+  HPC_REQUIRE(it != processor_map().end(), "not a processor part");
+  return it->second;
+}
+
+const MemoryPart& memory(PartId id) {
+  auto it = memory_map().find(id);
+  HPC_REQUIRE(it != memory_map().end(), "not a memory/storage part");
+  return it->second;
+}
+
+EmbodiedBreakdown embodied_of(PartId id) {
+  if (is_processor(id)) return embodied(processor(id));
+  return embodied(memory(id));
+}
+
+const char* display_name(PartId id) {
+  if (is_processor(id)) return processor(id).name.c_str();
+  return memory(id).name.c_str();
+}
+
+}  // namespace hpcarbon::embodied

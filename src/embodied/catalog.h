@@ -1,0 +1,63 @@
+// Hardware catalog: every component modeled in the paper.
+//
+// Table 1 parts (three GPUs, three CPUs, DRAM/SSD/HDD) plus the additional
+// node-generation parts of Table 5 (P100 GPU, Xeon E5-2680, EPYC 7542,
+// A100 SXM4). Carbon-relevant constants use the values the paper states
+// explicitly (EPC = 65 / 6.21 / 1.33 gCO2/GB, 150 g per IC, yield 0.875);
+// die areas, FLOPS, bandwidths, and power figures come from public
+// datasheets.
+//
+// Modeling note (documented in DESIGN.md): chiplet CPUs are modeled by
+// their compute-die area; the mature-node IO die is excluded, matching the
+// paper's vendor-generic treatment (its inclusion is explored as a
+// sensitivity in bench_sensitivity). GPU HBM is not folded into the GPU —
+// the paper applies Eq. 3 to processors and Eq. 4 only to standalone
+// memory/storage devices.
+#pragma once
+
+#include <vector>
+
+#include "embodied/models.h"
+#include "embodied/part.h"
+
+namespace hpcarbon::embodied {
+
+enum class PartId {
+  // Table 1 GPUs
+  kMi250x,
+  kA100Pcie40,
+  kV100Sxm2_32,
+  // Table 1 CPUs
+  kEpyc7763,
+  kEpyc7742,
+  kXeonGold6240R,
+  // Table 1 memory/storage
+  kDram64GbDdr4,
+  kSsdNytro3530_3_2Tb,
+  kHddExosX16_16Tb,
+  // Table 5 extras
+  kP100Pcie16,
+  kA100Sxm4_40,
+  kXeonE5_2680,
+  kEpyc7542,
+};
+
+/// All parts of the paper's Table 1, in figure order.
+std::vector<PartId> table1_parts();
+/// GPU/CPU subset of Table 1 (Fig. 1 order: GPUs then CPUs).
+std::vector<PartId> table1_processors();
+/// DRAM/SSD/HDD subset of Table 1 (Fig. 2 order).
+std::vector<PartId> table1_memory_storage();
+
+bool is_processor(PartId id);
+
+/// Lookup; throws hpcarbon::Error if the id is not of the requested family.
+const ProcessorPart& processor(PartId id);
+const MemoryPart& memory(PartId id);
+
+/// Eq. 2 for any catalog part.
+EmbodiedBreakdown embodied_of(PartId id);
+
+const char* display_name(PartId id);
+
+}  // namespace hpcarbon::embodied

@@ -1,0 +1,61 @@
+#include "embodied/models.h"
+
+#include "core/error.h"
+
+namespace hpcarbon::embodied {
+
+Mass processor_manufacturing(const ProcessorPart& part) {
+  HPC_REQUIRE(!part.dies.empty(), "processor has no dies: " + part.name);
+  Mass total;
+  for (const auto& die : part.dies) {
+    total += die_manufacturing_carbon(die.area_mm2, die.node, part.yield) *
+             static_cast<double>(die.count);
+  }
+  return total;
+}
+
+Mass capacity_manufacturing(const MemoryPart& part) {
+  HPC_REQUIRE(part.capacity_gb > 0, "capacity must be positive: " + part.name);
+  HPC_REQUIRE(part.epc_g_per_gb > 0, "EPC must be positive: " + part.name);
+  return Mass::grams(part.epc_g_per_gb * part.capacity_gb);
+}
+
+Mass ic_packaging(int ic_count) {
+  HPC_REQUIRE(ic_count >= 0, "negative IC count");
+  return Mass::grams(kPackagingGramsPerIc * ic_count);
+}
+
+EmbodiedBreakdown embodied(const ProcessorPart& part) {
+  EmbodiedBreakdown b;
+  b.manufacturing = processor_manufacturing(part);
+  b.packaging = ic_packaging(part.ic_count);
+  return b;
+}
+
+EmbodiedBreakdown embodied(const MemoryPart& part) {
+  EmbodiedBreakdown b;
+  b.manufacturing = capacity_manufacturing(part);
+  if (part.cls == PartClass::kDram) {
+    b.packaging = ic_packaging(part.ic_count);
+  } else {
+    const double ratio =
+        part.packaging_to_manufacturing.value_or(kStoragePackagingRatio);
+    HPC_REQUIRE(ratio >= 0, "packaging ratio must be non-negative");
+    b.packaging = b.manufacturing * ratio;
+  }
+  return b;
+}
+
+double kg_per_tflop_fp64(const ProcessorPart& part) {
+  HPC_REQUIRE(part.fp64_tflops > 0,
+              "FP64 TFLOPS must be positive: " + part.name);
+  return embodied(part).total().to_kilograms() / part.fp64_tflops;
+}
+
+double kg_per_gbps(const MemoryPart& part) {
+  HPC_REQUIRE(part.bandwidth_gb_per_s > 0,
+              "bandwidth must be positive: " + part.name);
+  return embodied(part).total().to_kilograms() / part.bandwidth_gb_per_s;
+}
+
+}  // namespace hpcarbon::embodied

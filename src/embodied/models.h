@@ -1,0 +1,54 @@
+// Embodied-carbon models: Eq. 2 through Eq. 5 of the paper.
+//
+//   C_em = Manufacturing + Packaging                               (Eq. 2)
+//   M_proc = (FPA + GPA + MPA) * A_die / Yield                     (Eq. 3)
+//   M_m/s  = EPC * Capacity                                        (Eq. 4)
+//   Packaging = 150 gCO2 * Number_of_ICs                           (Eq. 5)
+//   (storage: Packaging = ratio * Manufacturing, vendor-reported)
+#pragma once
+
+#include "core/units.h"
+#include "embodied/part.h"
+
+namespace hpcarbon::embodied {
+
+/// Industry-average packaging overhead per IC package (SPIL CSR report,
+/// used verbatim by the paper).
+inline constexpr double kPackagingGramsPerIc = 150.0;
+
+/// Default packaging-to-manufacturing ratio for storage devices when the
+/// vendor does not break it out; Seagate product LCAs put packaging at
+/// roughly 2% of the embodied total.
+inline constexpr double kStoragePackagingRatio = 0.0204;
+
+struct EmbodiedBreakdown {
+  Mass manufacturing;
+  Mass packaging;
+
+  Mass total() const { return manufacturing + packaging; }
+  /// Fraction of the embodied carbon due to packaging, in [0,1].
+  double packaging_share() const {
+    const double t = total().to_grams();
+    return t > 0 ? packaging.to_grams() / t : 0.0;
+  }
+};
+
+/// Eq. 3 summed over all dies of a processor package.
+Mass processor_manufacturing(const ProcessorPart& part);
+/// Eq. 4.
+Mass capacity_manufacturing(const MemoryPart& part);
+/// Eq. 5.
+Mass ic_packaging(int ic_count);
+
+/// Full Eq. 2 for a processor.
+EmbodiedBreakdown embodied(const ProcessorPart& part);
+/// Full Eq. 2 for a memory/storage device.
+EmbodiedBreakdown embodied(const MemoryPart& part);
+
+/// Embodied carbon normalized to theoretical FP64 performance (Fig. 1b):
+/// kgCO2 per TFLOPS.
+double kg_per_tflop_fp64(const ProcessorPart& part);
+/// Embodied carbon normalized to device bandwidth (Fig. 2b): kgCO2 per GB/s.
+double kg_per_gbps(const MemoryPart& part);
+
+}  // namespace hpcarbon::embodied

@@ -1,0 +1,22 @@
+#include "embodied/part.h"
+
+namespace hpcarbon::embodied {
+
+const char* to_string(PartClass c) {
+  switch (c) {
+    case PartClass::kGpu: return "GPU";
+    case PartClass::kCpu: return "CPU";
+    case PartClass::kDram: return "DRAM";
+    case PartClass::kSsd: return "SSD";
+    case PartClass::kHdd: return "HDD";
+  }
+  return "?";
+}
+
+double ProcessorPart::total_die_area_mm2() const {
+  double area = 0;
+  for (const auto& d : dies) area += d.area_mm2 * d.count;
+  return area;
+}
+
+}  // namespace hpcarbon::embodied

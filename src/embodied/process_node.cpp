@@ -1,0 +1,46 @@
+#include "embodied/process_node.h"
+
+#include "core/error.h"
+
+namespace hpcarbon::embodied {
+
+const char* to_string(ProcessNode node) {
+  switch (node) {
+    case ProcessNode::nm32: return "32nm";
+    case ProcessNode::nm28: return "28nm";
+    case ProcessNode::nm16: return "16nm";
+    case ProcessNode::nm14: return "14nm";
+    case ProcessNode::nm12: return "12nm";
+    case ProcessNode::nm7: return "7nm";
+    case ProcessNode::nm6: return "6nm";
+    case ProcessNode::nm5: return "5nm";
+  }
+  return "?";
+}
+
+FabFootprint fab_footprint(ProcessNode node) {
+  // Split ~50/28/22 between fab energy, gases, and materials; totals track
+  // the ACT carbon-per-area trend across nodes.
+  switch (node) {
+    case ProcessNode::nm32: return {400.0, 225.0, 175.0};   // 0.80 kg/cm^2
+    case ProcessNode::nm28: return {450.0, 250.0, 200.0};   // 0.90
+    case ProcessNode::nm16: return {550.0, 300.0, 250.0};   // 1.10
+    case ProcessNode::nm14: return {565.0, 310.0, 255.0};   // 1.13
+    case ProcessNode::nm12: return {600.0, 330.0, 270.0};   // 1.20
+    case ProcessNode::nm7: return {800.0, 450.0, 350.0};    // 1.60
+    case ProcessNode::nm6: return {850.0, 480.0, 370.0};    // 1.70
+    case ProcessNode::nm5: return {950.0, 520.0, 400.0};    // 1.87
+  }
+  return {};
+}
+
+Mass die_manufacturing_carbon(double die_area_mm2, ProcessNode node,
+                              double yield) {
+  HPC_REQUIRE(die_area_mm2 > 0, "die area must be positive");
+  HPC_REQUIRE(yield > 0 && yield <= 1.0, "yield must be in (0,1]");
+  const double area_cm2 = die_area_mm2 / 100.0;
+  const double g = fab_footprint(node).total_g_per_cm2() * area_cm2 / yield;
+  return Mass::grams(g);
+}
+
+}  // namespace hpcarbon::embodied

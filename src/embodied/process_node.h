@@ -1,0 +1,55 @@
+// Semiconductor process (lithography) carbon-footprint parameters.
+//
+// Eq. 3 of the paper: M_proc = (FPA + GPA + MPA) * A_die / Yield, where
+//   FPA — fab carbon emission per unit area (electricity of the fab,
+//         depends on fab location and lithography),
+//   GPA — emissions from chemicals and gases per unit area (lithography),
+//   MPA — emissions from raw materials per unit area (lithography),
+//   Yield — fab yield, fixed to 0.875 following ACT and the paper.
+//
+// Per-node intensities follow the ACT-family literature (Gupta et al. ISCA
+// '22; Greenchip): total carbon per cm^2 rises steeply with EUV-era nodes
+// (~0.9 kgCO2/cm^2 at 28 nm up to ~1.9 kgCO2/cm^2 at 5 nm).
+#pragma once
+
+#include <string>
+
+#include "core/units.h"
+
+namespace hpcarbon::embodied {
+
+enum class ProcessNode {
+  nm32,
+  nm28,
+  nm16,
+  nm14,
+  nm12,
+  nm7,
+  nm6,
+  nm5,
+};
+
+const char* to_string(ProcessNode node);
+
+/// Per-area emission factors, all in gCO2 per cm^2 of wafer area.
+struct FabFootprint {
+  double fpa_g_per_cm2 = 0;  // fab energy
+  double gpa_g_per_cm2 = 0;  // process gases & chemicals
+  double mpa_g_per_cm2 = 0;  // raw materials
+
+  constexpr double total_g_per_cm2() const {
+    return fpa_g_per_cm2 + gpa_g_per_cm2 + mpa_g_per_cm2;
+  }
+};
+
+/// Emission factors for a given lithography node (grid-average fab energy).
+FabFootprint fab_footprint(ProcessNode node);
+
+/// Fab yield used throughout the paper (constant, consistent with ACT).
+inline constexpr double kDefaultYield = 0.875;
+
+/// Eq. 3 for a single die.
+Mass die_manufacturing_carbon(double die_area_mm2, ProcessNode node,
+                              double yield = kDefaultYield);
+
+}  // namespace hpcarbon::embodied

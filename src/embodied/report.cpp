@@ -1,0 +1,109 @@
+#include "embodied/report.h"
+
+#include <array>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/table.h"
+
+namespace hpcarbon::embodied {
+
+namespace {
+
+PartClass class_of(PartId id) {
+  return is_processor(id) ? processor(id).cls : memory(id).cls;
+}
+
+UncertaintyResult propagate_any(PartId id, const UncertaintyBands& bands,
+                                int samples) {
+  if (is_processor(id)) return propagate(processor(id), bands, samples);
+  return propagate(memory(id), bands, samples);
+}
+
+std::string part_detail(PartId id) {
+  std::ostringstream out;
+  if (is_processor(id)) {
+    const auto& p = processor(id);
+    out << p.part_name << " [";
+    for (std::size_t d = 0; d < p.dies.size(); ++d) {
+      if (d) out << " + ";
+      if (p.dies[d].count > 1) out << p.dies[d].count << "x ";
+      out << p.dies[d].area_mm2 << " mm^2 @ " << to_string(p.dies[d].node);
+    }
+    out << ", " << p.ic_count << " ICs]";
+  } else {
+    const auto& m = memory(id);
+    out << m.part_name << " [" << m.capacity_gb << " GB @ " << m.epc_g_per_gb
+        << " g/GB]";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string rfp_report(const std::vector<BomLine>& bom,
+                       const RfpReportOptions& opts) {
+  HPC_REQUIRE(!bom.empty(), "bill of materials is empty");
+  for (const auto& line : bom) {
+    HPC_REQUIRE(line.count > 0, "BOM line count must be positive");
+  }
+
+  std::ostringstream out;
+  out << banner(opts.title);
+  out << "Model: Eq. 2-5 of Li et al. (SC'23); yield "
+      << kDefaultYield << ", packaging " << kPackagingGramsPerIc
+      << " gCO2/IC.\n\n";
+
+  TextTable t(opts.include_uncertainty
+                  ? std::vector<std::string>{"Component", "Count",
+                                             "Mfg (kg)", "Pkg (kg)",
+                                             "Unit total (kg)",
+                                             "p05-p95 (kg)",
+                                             "Line total (t)"}
+                  : std::vector<std::string>{"Component", "Count",
+                                             "Mfg (kg)", "Pkg (kg)",
+                                             "Unit total (kg)",
+                                             "Line total (t)"});
+  std::array<double, 5> class_totals{};
+  double grand_total_g = 0;
+  for (const auto& line : bom) {
+    const auto b = embodied_of(line.part);
+    const double unit_kg = b.total().to_kilograms();
+    const double line_g = b.total().to_grams() * line.count;
+    class_totals[static_cast<std::size_t>(class_of(line.part))] += line_g;
+    grand_total_g += line_g;
+    std::vector<std::string> row = {
+        display_name(line.part), TextTable::num(line.count, 0),
+        TextTable::num(b.manufacturing.to_kilograms(), 2),
+        TextTable::num(b.packaging.to_kilograms(), 2),
+        TextTable::num(unit_kg, 2)};
+    if (opts.include_uncertainty) {
+      const auto u =
+          propagate_any(line.part, opts.bands, opts.monte_carlo_samples);
+      row.push_back(TextTable::num(u.p05.to_kilograms(), 1) + "-" +
+                    TextTable::num(u.p95.to_kilograms(), 1));
+    }
+    row.push_back(TextTable::num(line_g / 1e6, 2));
+    t.add_row(row);
+  }
+  out << t.to_string() << "\n";
+
+  out << "Component detail:\n";
+  for (const auto& line : bom) {
+    out << "  - " << part_detail(line.part) << "\n";
+  }
+
+  out << "\nClass rollup:\n";
+  TextTable roll({"Class", "tCO2e", "share %"});
+  const char* names[5] = {"GPU", "CPU", "DRAM", "SSD", "HDD"};
+  for (std::size_t c = 0; c < class_totals.size(); ++c) {
+    if (class_totals[c] == 0) continue;
+    roll.add_row({names[c], TextTable::num(class_totals[c] / 1e6, 2),
+                  TextTable::num(100.0 * class_totals[c] / grand_total_g, 1)});
+  }
+  roll.add_row({"TOTAL", TextTable::num(grand_total_g / 1e6, 2), "100.0"});
+  out << roll.to_string();
+  return out.str();
+}
+
+}  // namespace hpcarbon::embodied

@@ -1,0 +1,35 @@
+// Procurement (RFP) carbon report generator.
+//
+// Observation 2's implication: "carbon-conscious HPC facilities should
+// explicitly request the embodied carbon specifications for all components
+// from the chip vendor as part of their request for proposal". This module
+// renders the library's answer to that request for any bill of materials:
+// per-part Eq. 2-5 breakdowns, normalized efficiency metrics, Monte-Carlo
+// confidence bounds, and class rollups, as a plain-text document.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "embodied/catalog.h"
+#include "embodied/uncertainty.h"
+
+namespace hpcarbon::embodied {
+
+struct BomLine {
+  PartId part;
+  double count = 1;
+};
+
+struct RfpReportOptions {
+  bool include_uncertainty = true;
+  UncertaintyBands bands;
+  int monte_carlo_samples = 4096;
+  std::string title = "Embodied-carbon disclosure (RFP annex)";
+};
+
+/// Render the report. Deterministic for fixed options.
+std::string rfp_report(const std::vector<BomLine>& bom,
+                       const RfpReportOptions& opts = {});
+
+}  // namespace hpcarbon::embodied

@@ -1,0 +1,46 @@
+// Monte-Carlo uncertainty propagation for embodied-carbon estimates.
+//
+// The paper's Threats-to-Validity section stresses that yield, per-area
+// emission factors, and EPC values are uncertain and vendor-dependent. This
+// module quantifies that: each input is perturbed within a relative band
+// and the induced distribution of C_em is summarized. Used by
+// bench_sensitivity and the property tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/units.h"
+#include "embodied/part.h"
+
+namespace hpcarbon::embodied {
+
+/// Relative half-widths of the uniform input perturbations.
+struct UncertaintyBands {
+  double fab_per_area = 0.20;   // FPA+GPA+MPA: +/-20%
+  double yield = 0.05;          // yield: +/-5% (absolute band around 0.875)
+  double epc = 0.15;            // EPC: +/-15%
+  double packaging = 0.25;      // per-IC packaging: +/-25%
+};
+
+struct UncertaintyResult {
+  Mass mean;
+  Mass stddev;
+  Mass p05;
+  Mass p50;
+  Mass p95;
+  int samples = 0;
+};
+
+/// Propagate input uncertainty through Eq. 2/3/5 for a processor.
+/// Deterministic for a fixed seed; sampling is parallelized across the
+/// global thread pool.
+UncertaintyResult propagate(const ProcessorPart& part,
+                            const UncertaintyBands& bands, int samples = 4096,
+                            std::uint64_t seed = 42);
+
+/// Propagate input uncertainty through Eq. 2/4/5 for memory/storage.
+UncertaintyResult propagate(const MemoryPart& part,
+                            const UncertaintyBands& bands, int samples = 4096,
+                            std::uint64_t seed = 42);
+
+}  // namespace hpcarbon::embodied

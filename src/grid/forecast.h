@@ -1,0 +1,73 @@
+// Carbon-intensity forecasting.
+//
+// The paper's Sec. 4 implication — "robust system software support for
+// real-time and automatic distribution of jobs is needed" — requires
+// schedulers to anticipate intensity, not just observe it (the UK ESO API
+// the paper cites ships 48-hour forecasts for exactly this reason). Two
+// standard baselines are provided:
+//
+//  * PersistenceForecast  — CI(t+h) = CI(t); the strawman.
+//  * DiurnalTemplateForecast — hour-of-day template from the trailing
+//    window, the structure the paper's Fig. 7 analysis exploits.
+//
+// Both see only history (hours strictly before the query origin), so
+// policies built on them are causally valid.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "grid/trace.h"
+
+namespace hpcarbon::grid {
+
+class Forecast {
+ public:
+  virtual ~Forecast() = default;
+
+  /// Predict the intensity at `origin + horizon_hours`, using only trace
+  /// values strictly before `origin` (local time of the underlying trace).
+  virtual double predict(HourOfYear origin, int horizon_hours) const = 0;
+
+  /// Mean predicted intensity over [origin + start_h, origin + start_h +
+  /// duration_h), hour-granular.
+  double predict_window(HourOfYear origin, int start_h,
+                        double duration_h) const;
+};
+
+/// CI(t+h) = CI(t-1): last observed value everywhere.
+class PersistenceForecast : public Forecast {
+ public:
+  explicit PersistenceForecast(const CarbonIntensityTrace& trace);
+  double predict(HourOfYear origin, int horizon_hours) const override;
+
+ private:
+  const CarbonIntensityTrace* trace_;
+};
+
+/// Hour-of-day mean over the trailing `window_days`, blended with the last
+/// observation for level (bias) correction.
+class DiurnalTemplateForecast : public Forecast {
+ public:
+  DiurnalTemplateForecast(const CarbonIntensityTrace& trace,
+                          int window_days = 14, double level_blend = 0.3);
+  double predict(HourOfYear origin, int horizon_hours) const override;
+
+ private:
+  std::array<double, kHoursPerDay> hourly_template(HourOfYear origin) const;
+
+  const CarbonIntensityTrace* trace_;
+  int window_days_;
+  double level_blend_;
+};
+
+/// Forecast accuracy over a year at a fixed horizon.
+struct ForecastSkill {
+  double mae = 0;          // mean absolute error, g/kWh
+  double mape_percent = 0; // mean absolute percentage error
+};
+ForecastSkill evaluate(const Forecast& forecast,
+                       const CarbonIntensityTrace& truth, int horizon_hours,
+                       int start_hour = 14 * kHoursPerDay);
+
+}  // namespace hpcarbon::grid

@@ -1,0 +1,6 @@
+#include "grid/region.h"
+
+// RegionSpec is a plain aggregate; implementation lives in simulator.cpp and
+// presets.cpp. This TU exists to anchor the header's ODR-used inline data.
+
+namespace hpcarbon::grid {}  // namespace hpcarbon::grid

@@ -1,0 +1,58 @@
+// Region (balancing-authority) description for the grid simulator.
+//
+// Each of the paper's seven operators (Table 3) is described by a demand
+// model and a fleet of generation sources. The simulator turns this into an
+// hourly carbon-intensity trace whose distributional properties (median,
+// quartiles, CoV, diurnal phase) are calibrated against the published 2021
+// statistics the paper visualizes in Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "grid/source.h"
+
+namespace hpcarbon::grid {
+
+/// One generation fleet entry. Capacities are in units of average regional
+/// demand (capacity 1.0 == enough to serve the average load by itself).
+struct SourceCapacity {
+  SourceType type = SourceType::kGas;
+  double capacity = 0;          // relative to average demand
+  double capacity_factor = 1.0; // mean availability of that capacity
+  // Weather model (intermittent sources): log-scale volatility and the
+  // AR(1) persistence of the weather state.
+  double volatility = 0.0;
+  double weather_rho = 0.95;
+  // Diurnal availability modulation (e.g. Texas wind peaks at night).
+  double diurnal_amp = 0.0;
+  int diurnal_peak_hour = 0;
+};
+
+struct RegionSpec {
+  std::string code;      // "ESO"
+  std::string name;      // "Electricity System Operator"
+  std::string country;   // "United Kingdom"
+  std::string area;      // "Great Britain"
+  TimeZone tz = kUtc;
+
+  // Demand model: D(h) = 1 + diurnal + seasonal + noise, in average-demand
+  // units (the base level is normalized out of the CI computation).
+  double demand_diurnal_amp = 0.15;
+  int demand_peak_hour = 18;       // local time
+  double demand_seasonal_amp = 0.08;
+  int demand_peak_day = 15;        // day-of-year of the seasonal peak
+  double demand_noise = 0.02;
+  double demand_noise_rho = 0.7;
+
+  /// Dispatch order: sources are taken in list order (must-run/must-take
+  /// first, then the dispatchable merit order). Shortfall is served by
+  /// imports at lifecycle_ci(kImports).
+  std::vector<SourceCapacity> sources;
+
+  std::uint64_t seed = 1;  // weather realization; fixed per region
+};
+
+}  // namespace hpcarbon::grid

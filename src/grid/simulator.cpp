@@ -1,0 +1,172 @@
+#include "grid/simulator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+
+namespace hpcarbon::grid {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+// Smooth single-peak diurnal shape centered on peak_hour, range [-1, 1].
+double diurnal(int hour_of_day, int peak_hour) {
+  return std::cos(kTwoPi * (hour_of_day - peak_hour) / kHoursPerDay);
+}
+
+// Seasonal shape with peak at peak_day, range [-1, 1].
+double seasonal(int day_of_year, int peak_day) {
+  return std::cos(kTwoPi * (day_of_year - peak_day) / kDaysPerYear);
+}
+
+// Daylight availability: zero at night, cosine-shaped around solar noon.
+// Half-width of the daylight window varies with season (longer summer days
+// in the mid-latitudes all seven regions occupy).
+double solar_shape(int hour_of_day, int day_of_year) {
+  const double halfwidth =
+      6.0 + 1.8 * std::sin(kTwoPi * (day_of_year - 81) / kDaysPerYear);
+  const double x = (hour_of_day - 12.0) / halfwidth;
+  if (std::fabs(x) >= 1.0) return 0.0;
+  const double c = std::cos(x * kTwoPi / 4.0);  // cos(pi/2 * x)
+  // Seasonal irradiance scale: summer peak (day 172).
+  const double season =
+      1.0 + 0.45 * std::cos(kTwoPi * (day_of_year - 172) / kDaysPerYear);
+  return std::pow(c, 1.3) * season * 0.5;
+}
+
+struct WeatherState {
+  Ar1 process;
+  double volatility;
+};
+
+}  // namespace
+
+GridSimulator::GridSimulator(RegionSpec spec) : spec_(std::move(spec)) {
+  HPC_REQUIRE(!spec_.sources.empty(), "region has no generation sources");
+  double total_capacity = 0;
+  for (const auto& s : spec_.sources) {
+    HPC_REQUIRE(s.capacity >= 0, "negative capacity");
+    HPC_REQUIRE(s.capacity_factor >= 0 && s.capacity_factor <= 1.0,
+                "capacity factor outside [0,1]");
+    total_capacity += s.capacity;
+  }
+  HPC_REQUIRE(total_capacity > 0, "region has zero total capacity");
+}
+
+std::vector<DispatchHour> GridSimulator::run_detailed() const {
+  Rng rng(spec_.seed);
+  Ar1 demand_noise(spec_.demand_noise_rho, rng);
+
+  // One weather process per intermittent source (wind gets the persistence
+  // of multi-day weather systems; solar's process models cloud cover).
+  std::vector<WeatherState> weather;
+  weather.reserve(spec_.sources.size());
+  for (const auto& s : spec_.sources) {
+    weather.push_back(WeatherState{Ar1(s.weather_rho, rng), s.volatility});
+  }
+
+  std::vector<DispatchHour> hours;
+  hours.reserve(kHoursPerYear);
+
+  for (int h = 0; h < kHoursPerYear; ++h) {
+    const HourOfYear hour(h);
+    const int hod = hour.hour_of_day();
+    const int doy = hour.day_of_year();
+
+    DispatchHour snap;
+    snap.generation.assign(spec_.sources.size(), 0.0);
+
+    double demand =
+        1.0 + spec_.demand_diurnal_amp * diurnal(hod, spec_.demand_peak_hour) +
+        spec_.demand_seasonal_amp * seasonal(doy, spec_.demand_peak_day) +
+        spec_.demand_noise * demand_noise.step();
+    demand = std::max(0.2, demand);
+    snap.demand = demand;
+
+    double remaining = demand;
+    double weighted_ci = 0;
+
+    for (std::size_t i = 0; i < spec_.sources.size(); ++i) {
+      const auto& s = spec_.sources[i];
+      double w = weather[i].process.step();  // advance every hour regardless
+      double available;
+      switch (s.type) {
+        case SourceType::kWind: {
+          // Lognormal weather state keeps availability positive and skewed;
+          // optional diurnal shape (e.g. nocturnal Texas wind).
+          double cf = s.capacity_factor *
+                      std::exp(s.volatility * w - 0.5 * s.volatility * s.volatility);
+          cf *= 1.0 + s.diurnal_amp * diurnal(hod, s.diurnal_peak_hour);
+          available = s.capacity * std::clamp(cf, 0.0, 0.97);
+          break;
+        }
+        case SourceType::kSolar: {
+          const double clouds =
+              std::clamp(1.0 - 0.5 * std::max(0.0, w * s.volatility), 0.25, 1.0);
+          available =
+              s.capacity * s.capacity_factor * solar_shape(hod, doy) * clouds * 2.0;
+          break;
+        }
+        default:
+          available = s.capacity * s.capacity_factor;
+          break;
+      }
+      const double gen = std::min(available, remaining);
+      snap.generation[i] = gen;
+      remaining -= gen;
+      weighted_ci += gen * lifecycle_ci(s.type);
+      if (remaining <= 0) {
+        remaining = 0;
+        // Keep advancing the remaining weather processes for continuity.
+        for (std::size_t j = i + 1; j < spec_.sources.size(); ++j) {
+          weather[j].process.step();
+        }
+        break;
+      }
+    }
+
+    snap.imports = remaining;
+    weighted_ci += remaining * lifecycle_ci(SourceType::kImports);
+    snap.ci_g_per_kwh = weighted_ci / demand;
+    hours.push_back(std::move(snap));
+  }
+  return hours;
+}
+
+CarbonIntensityTrace GridSimulator::run() const {
+  const auto detail = run_detailed();
+  std::vector<double> values;
+  values.reserve(detail.size());
+  for (const auto& h : detail) values.push_back(h.ci_g_per_kwh);
+  return CarbonIntensityTrace(spec_.code, spec_.tz, std::move(values));
+}
+
+std::vector<double> GridSimulator::annual_mix() const {
+  const auto detail = run_detailed();
+  std::vector<double> energy(spec_.sources.size() + 1, 0.0);
+  double total = 0;
+  for (const auto& h : detail) {
+    for (std::size_t i = 0; i < h.generation.size(); ++i) {
+      energy[i] += h.generation[i];
+    }
+    energy.back() += h.imports;
+    total += h.demand;
+  }
+  for (auto& e : energy) e /= total;
+  return energy;
+}
+
+std::vector<CarbonIntensityTrace> generate_traces(
+    const std::vector<RegionSpec>& specs) {
+  std::vector<CarbonIntensityTrace> traces(specs.size());
+  ThreadPool::global().parallel_for(0, specs.size(), [&](std::size_t i) {
+    traces[i] = GridSimulator(specs[i]).run();
+  });
+  return traces;
+}
+
+}  // namespace hpcarbon::grid

@@ -1,0 +1,56 @@
+// Hourly grid simulator: RegionSpec -> 8760-hour carbon-intensity trace.
+//
+// For each local hour the simulator
+//   1. evaluates the demand model (diurnal + seasonal + AR(1) noise),
+//   2. evaluates each source's available output — weather-driven for wind
+//      (lognormal AR(1) weather state, optional diurnal shape) and solar
+//      (daylight geometry x season x cloud cover), constant capacity factor
+//      for the others,
+//   3. dispatches sources in list order up to demand (intermittent output
+//      beyond demand is curtailed), topping up with imports,
+//   4. emits CI = sum(gen_i * ci_i) / sum(gen_i).
+//
+// The generator is deterministic for a fixed RegionSpec::seed.
+#pragma once
+
+#include <vector>
+
+#include "grid/region.h"
+#include "grid/trace.h"
+
+namespace hpcarbon::grid {
+
+/// Per-hour generation snapshot (for tests and the mix report).
+struct DispatchHour {
+  double demand = 0;
+  double imports = 0;
+  std::vector<double> generation;  // parallel to RegionSpec::sources
+  double ci_g_per_kwh = 0;
+};
+
+class GridSimulator {
+ public:
+  explicit GridSimulator(RegionSpec spec);
+
+  const RegionSpec& spec() const { return spec_; }
+
+  /// Generate the year-long carbon-intensity trace.
+  CarbonIntensityTrace run() const;
+
+  /// Generate the trace along with full dispatch detail (slower; testing
+  /// and the energy-mix report).
+  std::vector<DispatchHour> run_detailed() const;
+
+  /// Annual energy share of each source (fractions summing to 1 with
+  /// imports included). Computed from run_detailed().
+  std::vector<double> annual_mix() const;
+
+ private:
+  RegionSpec spec_;
+};
+
+/// Generate traces for several regions in parallel on the global pool.
+std::vector<CarbonIntensityTrace> generate_traces(
+    const std::vector<RegionSpec>& specs);
+
+}  // namespace hpcarbon::grid

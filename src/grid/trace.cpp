@@ -1,0 +1,100 @@
+#include "grid/trace.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "core/csv.h"
+#include "core/error.h"
+
+namespace hpcarbon::grid {
+
+CarbonIntensityTrace::CarbonIntensityTrace(std::string region_code,
+                                           TimeZone tz,
+                                           std::vector<double> values)
+    : region_code_(std::move(region_code)), tz_(tz), values_(std::move(values)) {
+  HPC_REQUIRE(values_.size() == kHoursPerYear,
+              "trace must cover exactly one year (8760 hours)");
+  for (double v : values_) {
+    HPC_REQUIRE(std::isfinite(v) && v >= 0.0,
+                "carbon intensity must be finite and non-negative");
+  }
+}
+
+CarbonIntensity CarbonIntensityTrace::at(HourOfYear local_hour) const {
+  return CarbonIntensity::grams_per_kwh(
+      values_[static_cast<std::size_t>(local_hour.index())]);
+}
+
+CarbonIntensity CarbonIntensityTrace::at(HourOfYear hour,
+                                         TimeZone hour_zone) const {
+  return at(hour.convert(hour_zone, tz_));
+}
+
+CarbonIntensityTrace CarbonIntensityTrace::to_time_zone(TimeZone target) const {
+  std::vector<double> rotated(values_.size());
+  for (int i = 0; i < kHoursPerYear; ++i) {
+    // Local hour i in `target` corresponds to this trace's local hour
+    // i shifted by (tz_ - target).
+    const HourOfYear src = HourOfYear(i).convert(target, tz_);
+    rotated[static_cast<std::size_t>(i)] =
+        values_[static_cast<std::size_t>(src.index())];
+  }
+  return CarbonIntensityTrace(region_code_, target, std::move(rotated));
+}
+
+CarbonIntensity CarbonIntensityTrace::mean_over(HourOfYear start,
+                                                Hours duration) const {
+  const double hours = duration.count();
+  HPC_REQUIRE(hours > 0, "duration must be positive");
+  // Integrate hour by hour; partial trailing hour weighted by its fraction.
+  double acc = 0;
+  double remaining = hours;
+  int idx = start.index();
+  while (remaining > 0) {
+    const double w = remaining >= 1.0 ? 1.0 : remaining;
+    acc += values_[static_cast<std::size_t>(idx)] * w;
+    remaining -= w;
+    idx = (idx + 1) % kHoursPerYear;
+  }
+  return CarbonIntensity::grams_per_kwh(acc / hours);
+}
+
+std::vector<double> CarbonIntensityTrace::hour_of_day_slice(
+    int hour_of_day) const {
+  HPC_REQUIRE(hour_of_day >= 0 && hour_of_day < kHoursPerDay,
+              "hour of day out of range");
+  std::vector<double> slice;
+  slice.reserve(kDaysPerYear);
+  for (int d = 0; d < kDaysPerYear; ++d) {
+    slice.push_back(
+        values_[static_cast<std::size_t>(d * kHoursPerDay + hour_of_day)]);
+  }
+  return slice;
+}
+
+std::string CarbonIntensityTrace::to_csv() const {
+  std::ostringstream out;
+  // Full round-trip precision: analyses on an imported trace must match the
+  // original bit-for-bit.
+  out << std::setprecision(17);
+  out << "hour,intensity_g_per_kwh\n";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    out << i << ',' << values_[i] << '\n';
+  }
+  return out.str();
+}
+
+CarbonIntensityTrace CarbonIntensityTrace::from_csv(
+    const std::string& region_code, TimeZone tz, const std::string& csv) {
+  const CsvData data = parse_csv(csv);
+  std::vector<double> values;
+  values.reserve(data.rows.size());
+  for (const auto& row : data.rows) {
+    HPC_REQUIRE(row.size() == 2, "trace CSV must have two columns");
+    values.push_back(row[1]);
+  }
+  return CarbonIntensityTrace(region_code, tz, std::move(values));
+}
+
+}  // namespace hpcarbon::grid

@@ -1,0 +1,56 @@
+// Hourly carbon-intensity trace: one value per hour of the modeled year.
+//
+// This is the interchange type between the grid simulator (or a real data
+// import) and every consumer: operational-carbon integration (Eq. 6),
+// regional statistics (Fig. 6), the hour-of-day winner analysis (Fig. 7),
+// and the carbon-aware scheduler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+
+namespace hpcarbon::grid {
+
+class CarbonIntensityTrace {
+ public:
+  CarbonIntensityTrace() = default;
+  /// values[i] is the carbon intensity (gCO2/kWh) of local hour i.
+  CarbonIntensityTrace(std::string region_code, TimeZone tz,
+                       std::vector<double> values);
+
+  const std::string& region_code() const { return region_code_; }
+  TimeZone time_zone() const { return tz_; }
+  std::size_t size() const { return values_.size(); }
+  const std::vector<double>& values() const { return values_; }
+
+  CarbonIntensity at(HourOfYear local_hour) const;
+  /// Intensity for an instant given in another zone's local time.
+  CarbonIntensity at(HourOfYear hour, TimeZone hour_zone) const;
+
+  /// Rotated copy whose index i is local hour i of `target`: the alignment
+  /// step of the paper's Fig. 7 (everything converted to JST).
+  CarbonIntensityTrace to_time_zone(TimeZone target) const;
+
+  /// Mean intensity over [start, start+duration) in local hours; duration
+  /// may wrap the year boundary. Used for trace-integrated Eq. 6.
+  CarbonIntensity mean_over(HourOfYear start, Hours duration) const;
+
+  /// All values observed at a given local hour-of-day (365 samples).
+  std::vector<double> hour_of_day_slice(int hour_of_day) const;
+
+  /// CSV with "hour,intensity_g_per_kwh" rows.
+  std::string to_csv() const;
+  /// Parse a trace back from to_csv() output.
+  static CarbonIntensityTrace from_csv(const std::string& region_code,
+                                       TimeZone tz, const std::string& csv);
+
+ private:
+  std::string region_code_;
+  TimeZone tz_;
+  std::vector<double> values_;
+};
+
+}  // namespace hpcarbon::grid

@@ -1,0 +1,70 @@
+#include "hw/meter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace hpcarbon::hw {
+
+EnergyMeter::EnergyMeter(MeterOptions opts)
+    : opts_(opts), noise_state_(opts.seed) {
+  HPC_REQUIRE(opts_.sample_interval.count() > 0,
+              "sample interval must be positive");
+  HPC_REQUIRE(opts_.noise_sigma >= 0, "noise sigma must be non-negative");
+}
+
+double EnergyMeter::noisy(double watts) {
+  if (opts_.noise_sigma == 0.0) return watts;
+  // Cheap inline RNG: one Gaussian via a dedicated stream so record() stays
+  // deterministic regardless of interleaving with other components.
+  Rng rng(noise_state_);
+  noise_state_ = rng.next_u64();
+  return std::max(0.0, watts * (1.0 + opts_.noise_sigma * rng.normal()));
+}
+
+void EnergyMeter::record(Power p, Hours dt) {
+  HPC_REQUIRE(dt.count() >= 0, "negative time step");
+  const double w = noisy(p.to_watts());
+  if (has_last_) {
+    // Trapezoid between the previous and current sample.
+    const double avg_kw = 0.5 * (last_watts_ + w) / 1000.0;
+    total_ += Energy::kilowatt_hours(avg_kw * dt.count());
+  } else {
+    total_ += Energy::kilowatt_hours(w / 1000.0 * dt.count());
+  }
+  last_watts_ = w;
+  has_last_ = true;
+  elapsed_ += dt;
+  ++samples_;
+}
+
+Energy EnergyMeter::integrate(const PowerSignal& signal, Hours duration) {
+  HPC_REQUIRE(duration.count() > 0, "duration must be positive");
+  const double step = opts_.sample_interval.count();
+  double t = 0;
+  // Prime with the t=0 sample so the first trapezoid is well-formed.
+  record(signal(Hours::hours(0)), Hours::hours(0));
+  while (t < duration.count()) {
+    const double dt = std::min(step, duration.count() - t);
+    t += dt;
+    record(signal(Hours::hours(t)), Hours::hours(dt));
+  }
+  return total_;
+}
+
+Power EnergyMeter::average_power() const {
+  if (elapsed_.count() <= 0) return Power::watts(0);
+  return total_ / elapsed_;
+}
+
+void EnergyMeter::reset() {
+  total_ = Energy();
+  elapsed_ = Hours();
+  samples_ = 0;
+  last_watts_ = 0;
+  has_last_ = false;
+}
+
+}  // namespace hpcarbon::hw

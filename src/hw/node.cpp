@@ -1,0 +1,91 @@
+#include "hw/node.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace hpcarbon::hw {
+
+const char* to_string(GpuArch a) {
+  switch (a) {
+    case GpuArch::kPascal: return "Pascal (P100)";
+    case GpuArch::kVolta: return "Volta (V100)";
+    case GpuArch::kAmpere: return "Ampere (A100)";
+  }
+  return "?";
+}
+
+int NodeConfig::dram_module_count() const {
+  const auto& dimm = embodied::memory(embodied::PartId::kDram64GbDdr4);
+  return static_cast<int>(std::ceil(dram_gb / dimm.capacity_gb));
+}
+
+Mass node_embodied(const NodeConfig& node, EmbodiedScope scope) {
+  HPC_REQUIRE(node.gpu_count >= 0 && node.cpu_count > 0,
+              "node must have CPUs and a non-negative GPU count");
+  Mass total = embodied::embodied_of(node.gpu).total() * node.gpu_count +
+               embodied::embodied_of(node.cpu).total() * node.cpu_count;
+  if (scope == EmbodiedScope::kFullNode) {
+    total += embodied::embodied_of(embodied::PartId::kDram64GbDdr4).total() *
+             node.dram_module_count();
+    total +=
+        embodied::embodied_of(embodied::PartId::kSsdNytro3530_3_2Tb).total() *
+        node.ssd_count;
+  }
+  return total;
+}
+
+NodeConfig p100_node() {
+  NodeConfig n;
+  n.name = "P100";
+  n.gpu = embodied::PartId::kP100Pcie16;
+  n.gpu_count = 4;
+  n.arch = GpuArch::kPascal;
+  n.cpu = embodied::PartId::kXeonE5_2680;
+  n.cpu_count = 2;
+  n.dram_gb = 256;
+  return n;
+}
+
+NodeConfig v100_node() {
+  NodeConfig n;
+  n.name = "V100";
+  n.gpu = embodied::PartId::kV100Sxm2_32;
+  n.gpu_count = 4;
+  n.arch = GpuArch::kVolta;
+  n.cpu = embodied::PartId::kXeonGold6240R;
+  n.cpu_count = 2;
+  n.dram_gb = 384;
+  return n;
+}
+
+NodeConfig a100_node() {
+  NodeConfig n;
+  n.name = "A100";
+  n.gpu = embodied::PartId::kA100Pcie40;
+  n.gpu_count = 4;
+  n.arch = GpuArch::kAmpere;
+  n.cpu = embodied::PartId::kEpyc7542;
+  n.cpu_count = 4;
+  n.dram_gb = 512;
+  return n;
+}
+
+NodeConfig node_for(GpuArch arch) {
+  switch (arch) {
+    case GpuArch::kPascal: return p100_node();
+    case GpuArch::kVolta: return v100_node();
+    case GpuArch::kAmpere: return a100_node();
+  }
+  return v100_node();
+}
+
+NodeConfig fig4_node(int gpu_count) {
+  HPC_REQUIRE(gpu_count >= 1 && gpu_count <= 8, "GPU count out of range");
+  NodeConfig n = v100_node();
+  n.name = "2x Xeon 6240R + " + std::to_string(gpu_count) + "x V100";
+  n.gpu_count = gpu_count;
+  return n;
+}
+
+}  // namespace hpcarbon::hw

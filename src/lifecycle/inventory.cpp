@@ -1,0 +1,46 @@
+#include "lifecycle/inventory.h"
+
+#include "core/error.h"
+
+namespace hpcarbon::lifecycle {
+
+namespace {
+embodied::PartClass class_of(embodied::PartId id) {
+  if (embodied::is_processor(id)) return embodied::processor(id).cls;
+  return embodied::memory(id).cls;
+}
+}  // namespace
+
+Mass ClassBreakdown::total() const {
+  Mass t;
+  for (const auto& m : by_class) t += m;
+  return t;
+}
+
+double ClassBreakdown::share_percent(embodied::PartClass cls) const {
+  const double tot = total().to_grams();
+  if (tot <= 0) return 0;
+  return 100.0 * by_class[static_cast<std::size_t>(cls)].to_grams() / tot;
+}
+
+double ClassBreakdown::memory_storage_share_percent() const {
+  return share_percent(embodied::PartClass::kDram) +
+         share_percent(embodied::PartClass::kSsd) +
+         share_percent(embodied::PartClass::kHdd);
+}
+
+ClassBreakdown class_breakdown(const SystemInventory& system) {
+  ClassBreakdown b;
+  for (const auto& c : system.components) {
+    HPC_REQUIRE(c.count >= 0, "negative component count in " + system.name);
+    const Mass m = embodied::embodied_of(c.part).total() * c.count;
+    b.by_class[static_cast<std::size_t>(class_of(c.part))] += m;
+  }
+  return b;
+}
+
+Mass system_embodied(const SystemInventory& system) {
+  return class_breakdown(system).total();
+}
+
+}  // namespace hpcarbon::lifecycle

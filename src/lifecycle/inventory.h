@@ -1,0 +1,44 @@
+// System-scale component inventory and embodied-carbon rollups (Fig. 5).
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "embodied/catalog.h"
+
+namespace hpcarbon::lifecycle {
+
+struct ComponentCount {
+  embodied::PartId part;
+  double count = 0;
+};
+
+struct SystemInventory {
+  std::string name;       // "Frontier"
+  std::string location;   // "Oak Ridge, TN, United States"
+  std::string processors; // "AMD EPYC 7763, AMD Instinct MI250X"
+  long cores = 0;
+  int year = 0;
+  std::vector<ComponentCount> components;
+};
+
+/// Embodied carbon aggregated into the five Fig. 5 classes
+/// (GPU, CPU, DRAM, SSD, HDD).
+struct ClassBreakdown {
+  std::array<Mass, 5> by_class;  // indexed by embodied::PartClass
+  Mass total() const;
+  /// Percentage share of one class.
+  double share_percent(embodied::PartClass cls) const;
+  /// Combined memory+storage share (DRAM+SSD+HDD) — the paper's "~60%"
+  /// observation.
+  double memory_storage_share_percent() const;
+};
+
+ClassBreakdown class_breakdown(const SystemInventory& system);
+
+/// Total system embodied carbon (all components).
+Mass system_embodied(const SystemInventory& system);
+
+}  // namespace hpcarbon::lifecycle

@@ -1,0 +1,62 @@
+#include "lifecycle/scenario.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace hpcarbon::lifecycle {
+
+GridTrajectory::GridTrajectory(CarbonIntensity initial, double annual_decline)
+    : initial_(initial), decline_(annual_decline) {
+  HPC_REQUIRE(initial.to_g_per_kwh() > 0, "initial intensity must be positive");
+  HPC_REQUIRE(annual_decline >= 0.0 && annual_decline < 1.0,
+              "annual decline must be in [0,1)");
+}
+
+CarbonIntensity GridTrajectory::at(double years) const {
+  HPC_REQUIRE(years >= 0, "time must be non-negative");
+  return CarbonIntensity::grams_per_kwh(
+      initial_.to_g_per_kwh() * std::pow(1.0 - decline_, years));
+}
+
+double GridTrajectory::integral(double t0, double t1) const {
+  HPC_REQUIRE(t1 >= t0 && t0 >= 0, "invalid integration bounds");
+  const double ci0 = initial_.to_g_per_kwh();
+  if (decline_ == 0.0) return ci0 * (t1 - t0);
+  const double k = std::log(1.0 - decline_);  // negative
+  return ci0 * (std::exp(k * t1) - std::exp(k * t0)) / k;
+}
+
+double savings_percent(const UpgradeScenario& s, const GridTrajectory& traj,
+                       double years) {
+  HPC_REQUIRE(years > 0, "years must be positive");
+  const double ci_integral = traj.integral(0.0, years);  // (g/kWh)·years
+  const double keep_g = annual_energy_keep(s).to_kwh() * ci_integral;
+  const double up_g = upgrade_embodied(s).to_grams() +
+                      annual_energy_upgrade(s).to_kwh() * ci_integral;
+  return 100.0 * (keep_g - up_g) / keep_g;
+}
+
+std::optional<double> breakeven_years(const UpgradeScenario& s,
+                                      const GridTrajectory& traj,
+                                      double horizon_years) {
+  HPC_REQUIRE(horizon_years > 0, "horizon must be positive");
+  const double e_keep = annual_energy_keep(s).to_kwh();
+  const double e_new = annual_energy_upgrade(s).to_kwh();
+  const double em = upgrade_embodied(s).to_grams();
+  if (e_new >= e_keep) return std::nullopt;
+  // Cumulative difference D(t) = (e_keep - e_new) * integral(0,t) - em is
+  // monotone increasing; bisect for the root.
+  auto diff = [&](double t) {
+    return (e_keep - e_new) * traj.integral(0.0, t) - em;
+  };
+  if (diff(horizon_years) < 0) return std::nullopt;
+  double lo = 0, hi = horizon_years;
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (diff(mid) < 0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace hpcarbon::lifecycle

@@ -1,0 +1,52 @@
+// Grid decarbonization scenarios.
+//
+// The paper's Insight 8 is forward-looking: "esp. if the center already
+// runs primarily on renewable energy sources, as could be the case in the
+// future for many centers". This module makes that future explicit: a grid
+// whose average carbon intensity declines at a fixed annual rate, and the
+// upgrade arithmetic re-evaluated on that trajectory. As grids decarbonize,
+// operational savings shrink over time and the embodied tax takes longer to
+// amortize — or never amortizes.
+#pragma once
+
+#include <optional>
+
+#include "core/units.h"
+#include "lifecycle/upgrade.h"
+
+namespace hpcarbon::lifecycle {
+
+/// Exponentially declining average carbon intensity:
+/// CI(t) = CI0 * (1 - annual_decline)^t, t in years.
+class GridTrajectory {
+ public:
+  GridTrajectory(CarbonIntensity initial, double annual_decline);
+
+  CarbonIntensity initial() const { return initial_; }
+  double annual_decline() const { return decline_; }
+
+  CarbonIntensity at(double years) const;
+
+  /// Integral of CI(t) dt over [t0, t1], in (g/kWh)·years — multiply by an
+  /// annual energy to get grams.
+  double integral(double t0, double t1) const;
+
+ private:
+  CarbonIntensity initial_;
+  double decline_;
+};
+
+/// savings%(t) of an upgrade when the grid decarbonizes along `traj`
+/// (the scenario's own `intensity` field is ignored in favor of the
+/// trajectory).
+double savings_percent(const UpgradeScenario& s, const GridTrajectory& traj,
+                       double years);
+
+/// First break-even time under the trajectory within `horizon_years`, or
+/// nullopt if the upgrade never pays off inside the horizon. Monotone
+/// bisection on cumulative carbon difference.
+std::optional<double> breakeven_years(const UpgradeScenario& s,
+                                      const GridTrajectory& traj,
+                                      double horizon_years = 30.0);
+
+}  // namespace hpcarbon::lifecycle

@@ -1,0 +1,67 @@
+#include "lifecycle/systems.h"
+
+namespace hpcarbon::lifecycle {
+
+using embodied::PartId;
+
+SystemInventory frontier() {
+  SystemInventory s;
+  s.name = "Frontier";
+  s.location = "Oak Ridge, TN, United States";
+  s.processors = "AMD EPYC 7763, AMD Instinct MI250X";
+  s.cores = 8730112;
+  s.year = 2021;
+  const double nodes = 9408;
+  s.components = {
+      {PartId::kMi250x, nodes * 4},
+      {PartId::kEpyc7763, nodes * 1},
+      {PartId::kDram64GbDdr4, nodes * 8},              // 512 GB/node
+      {PartId::kSsdNytro3530_3_2Tb, 60000.0 / 3.2},    // ~60 PB flash
+      {PartId::kHddExosX16_16Tb, 695000.0 / 16.0},     // 695 PB capacity tier
+  };
+  return s;
+}
+
+SystemInventory lumi() {
+  SystemInventory s;
+  s.name = "LUMI";
+  s.location = "Kajaani, Finland";
+  s.processors = "AMD EPYC 7763, AMD Instinct MI250X";
+  s.cores = 2220288;
+  s.year = 2022;
+  const double g_nodes = 2978;  // LUMI-G
+  const double c_nodes = 2048;  // LUMI-C
+  s.components = {
+      {PartId::kMi250x, g_nodes * 4},
+      {PartId::kEpyc7763, g_nodes * 1 + c_nodes * 2},
+      {PartId::kDram64GbDdr4, g_nodes * 8 + c_nodes * 4},
+      {PartId::kSsdNytro3530_3_2Tb, 8500.0 / 3.2},     // LUMI-F ~8.5 PB
+      {PartId::kHddExosX16_16Tb, 80000.0 / 16.0},      // LUMI-P 80 PB
+  };
+  return s;
+}
+
+SystemInventory perlmutter() {
+  SystemInventory s;
+  s.name = "Perlmutter";
+  s.location = "Berkeley, CA, United States";
+  s.processors = "AMD EPYC 7763, NVIDIA A100 SXM4";
+  s.cores = 761856;
+  s.year = 2021;
+  const double g_nodes = 1536;
+  const double c_nodes = 3072;
+  s.components = {
+      {PartId::kA100Sxm4_40, g_nodes * 4},
+      {PartId::kEpyc7763, g_nodes * 1 + c_nodes * 2},
+      {PartId::kDram64GbDdr4, g_nodes * 4 + c_nodes * 8},
+      {PartId::kSsdNytro3530_3_2Tb, 35000.0 / 3.2},    // 35 PB all-flash
+      // No HDD tier: Perlmutter deploys an all-flash file system.
+  };
+  return s;
+}
+
+std::vector<SystemInventory> studied_systems() {
+  return {frontier(), lumi(), perlmutter()};
+}
+
+}  // namespace hpcarbon::lifecycle

@@ -1,0 +1,77 @@
+// Hardware-upgrade carbon analysis: RQ 7 (Fig. 8) and RQ 8 (Fig. 9).
+//
+// Setting (matching the paper): a facility runs a node generation with a
+// fixed annual workload (the suite's jobs, arriving at a rate that keeps
+// the GPUs busy a fraction `gpu_usage` of the time). An upgrade replaces
+// the node with a newer generation: the same annual workload then occupies
+// the new node for a shorter busy time (the suite's mean time-to-solution
+// ratio), at the new node's training power.
+//
+// Carbon accounting over t years after the upgrade decision:
+//
+//   C_keep(t)    = I * E_old(t)                    (old embodied is sunk)
+//   C_upgrade(t) = C_em(new node) + I * E_new(t)
+//   savings%(t)  = 100 * (C_keep - C_upgrade) / C_keep
+//
+// with busy-energy E(t) = P_train * busy_hours * PUE — the paper scales
+// carbontracker-measured per-job training energy, so allocated-but-idle
+// draw is excluded from both sides (documented in EXPERIMENTS.md).
+//
+// The new node's embodied carbon uses full-node scope (GPUs, CPUs, DRAM,
+// local SSD): an upgrade procures whole nodes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/units.h"
+#include "hw/node.h"
+#include "hw/perf.h"
+#include "hw/power.h"
+#include "op/pue.h"
+#include "workload/suite.h"
+
+namespace hpcarbon::lifecycle {
+
+/// The paper's usage tiers (RQ 8): medium 40% GPU usage from production
+/// traces, high/low at 1.5x more/less.
+struct UsageProfile {
+  double gpu_usage = 0.40;
+  static UsageProfile high() { return {0.60}; }
+  static UsageProfile medium() { return {0.40}; }
+  static UsageProfile low() { return {0.40 / 1.5}; }
+};
+
+struct UpgradeScenario {
+  hw::NodeConfig old_node;
+  hw::NodeConfig new_node;
+  workload::Suite suite = workload::Suite::kNlp;
+  CarbonIntensity intensity = CarbonIntensity::grams_per_kwh(200);
+  UsageProfile usage = UsageProfile::medium();
+  op::PueModel pue = op::PueModel(1.2);
+};
+
+/// Annual busy-energy (facility side, PUE applied) of the *current* node
+/// carrying the workload at the given usage.
+Energy annual_energy_keep(const UpgradeScenario& s);
+/// Annual busy-energy of the new node carrying the same workload.
+Energy annual_energy_upgrade(const UpgradeScenario& s);
+
+/// Embodied carbon introduced by the upgrade (full new node).
+Mass upgrade_embodied(const UpgradeScenario& s);
+
+/// savings%(t); negative while the embodied "tax" is unpaid.
+double savings_percent(const UpgradeScenario& s, double years);
+
+/// savings%(t) over a grid of years.
+std::vector<double> savings_curve(const UpgradeScenario& s,
+                                  const std::vector<double>& years);
+
+/// Years until C_upgrade == C_keep, or nullopt if the upgrade never breaks
+/// even (new node not more carbon-efficient for this workload).
+std::optional<double> breakeven_years(const UpgradeScenario& s);
+
+/// Asymptotic savings% as t -> infinity: 100 * (1 - E_new/E_old).
+double asymptotic_savings_percent(const UpgradeScenario& s);
+
+}  // namespace hpcarbon::lifecycle

@@ -1,0 +1,46 @@
+#include "op/attribution.h"
+
+#include "core/error.h"
+#include "hw/perf.h"
+
+namespace hpcarbon::op {
+
+double embodied_rate_g_per_hour(const hw::NodeConfig& node,
+                                const AmortizationPolicy& policy) {
+  HPC_REQUIRE(policy.service_life_years > 0,
+              "service life must be positive");
+  HPC_REQUIRE(policy.expected_utilization > 0 &&
+                  policy.expected_utilization <= 1.0,
+              "expected utilization must be in (0,1]");
+  const Mass em = hw::node_embodied(node, hw::EmbodiedScope::kFullNode);
+  const double lifetime_busy_hours =
+      policy.service_life_years * 8760.0 * policy.expected_utilization;
+  return em.to_grams() / lifetime_busy_hours;
+}
+
+Mass amortized_embodied(const hw::NodeConfig& node, Hours busy_time,
+                        const AmortizationPolicy& policy) {
+  HPC_REQUIRE(busy_time.count() >= 0, "busy time must be non-negative");
+  return Mass::grams(embodied_rate_g_per_hour(node, policy) *
+                     busy_time.count());
+}
+
+JobCarbonBill billed_training(Tracker& tracker, const hw::NodeConfig& node,
+                              const workload::BenchmarkModel& m,
+                              double samples,
+                              const AmortizationPolicy& policy,
+                              int gpus_used) {
+  JobCarbonBill bill;
+  bill.operational = tracker.track_training(node, m, samples, gpus_used);
+  // Partial-node jobs occupy a GPU fraction of the node; attribute embodied
+  // carbon proportionally.
+  const int k = gpus_used == 0 ? node.gpu_count : gpus_used;
+  const double node_fraction =
+      static_cast<double>(k) / static_cast<double>(node.gpu_count);
+  bill.embodied_share =
+      amortized_embodied(node, bill.operational.duration, policy) *
+      node_fraction;
+  return bill;
+}
+
+}  // namespace hpcarbon::op

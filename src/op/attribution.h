@@ -1,0 +1,55 @@
+// Per-job embodied-carbon attribution.
+//
+// The paper's carbon-budget implication (Sec. 4) prices only operational
+// carbon; but Sec. 3 shows embodied carbon rivals it. For budgets to be
+// complete, each job must also carry its share of the hardware's embodied
+// carbon, amortized over the node's expected service life and utilization:
+//
+//   embodied_share(job) = C_em(node) * busy_hours(job)
+//                         / (service_life * 8760 * expected_utilization)
+//
+// so a node that serves its full expected life at its expected duty cycle
+// attributes exactly 100% of its embodied carbon to the work it ran.
+#pragma once
+
+#include "core/units.h"
+#include "hw/node.h"
+#include "op/tracker.h"
+
+namespace hpcarbon::op {
+
+struct AmortizationPolicy {
+  /// Expected node service life (leadership systems run 5-7 years).
+  double service_life_years = 6.0;
+  /// Expected lifetime GPU-busy duty cycle (the paper's medium usage).
+  double expected_utilization = 0.40;
+};
+
+/// Embodied carbon attributed to `busy_time` of exclusive node use.
+Mass amortized_embodied(const hw::NodeConfig& node, Hours busy_time,
+                        const AmortizationPolicy& policy = {});
+
+/// Hourly embodied-attribution rate of a node (gCO2e per busy hour).
+double embodied_rate_g_per_hour(const hw::NodeConfig& node,
+                                const AmortizationPolicy& policy = {});
+
+/// A job's complete carbon bill: Eq. 6 operational plus amortized embodied.
+struct JobCarbonBill {
+  TrackerReport operational;
+  Mass embodied_share;
+  Mass total() const { return operational.carbon + embodied_share; }
+  /// Fraction of the bill that is embodied; grows as grids decarbonize.
+  double embodied_fraction() const {
+    const double t = total().to_grams();
+    return t > 0 ? embodied_share.to_grams() / t : 0.0;
+  }
+};
+
+/// Track a training run and attach its embodied share.
+JobCarbonBill billed_training(Tracker& tracker, const hw::NodeConfig& node,
+                              const workload::BenchmarkModel& m,
+                              double samples,
+                              const AmortizationPolicy& policy = {},
+                              int gpus_used = 0);
+
+}  // namespace hpcarbon::op

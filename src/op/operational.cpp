@@ -1,0 +1,40 @@
+#include "op/operational.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace hpcarbon::op {
+
+Mass operational_carbon(Energy it_energy, CarbonIntensity intensity,
+                        const PueModel& pue) {
+  HPC_REQUIRE(it_energy.to_kwh() >= 0, "negative energy");
+  return intensity * (it_energy * pue.base());
+}
+
+Mass operational_carbon(Power it_power,
+                        const grid::CarbonIntensityTrace& trace,
+                        HourOfYear start, Hours duration,
+                        const PueModel& pue) {
+  HPC_REQUIRE(duration.count() > 0, "duration must be positive");
+  double grams = 0;
+  double remaining = duration.count();
+  int idx = start.index();
+  const double kw = it_power.to_kilowatts();
+  while (remaining > 0) {
+    const double w = std::min(1.0, remaining);
+    const HourOfYear h(idx);
+    const double kwh = kw * w * pue.at(h);
+    grams += trace.at(h).to_g_per_kwh() * kwh;
+    remaining -= w;
+    idx = (idx + 1) % kHoursPerYear;
+  }
+  return Mass::grams(grams);
+}
+
+CarbonIntensity effective_intensity(const grid::CarbonIntensityTrace& trace,
+                                    HourOfYear start, Hours duration) {
+  return trace.mean_over(start, duration);
+}
+
+}  // namespace hpcarbon::op

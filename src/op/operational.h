@@ -1,0 +1,33 @@
+// Operational carbon footprint: Eq. 6 of the paper.
+//
+//   C_op = I_sys * E_op, with E_op = E_IT * PUE.
+//
+// Two forms are provided: the constant-intensity product (used by the
+// upgrade analysis columns of Fig. 8) and an hour-by-hour integration
+// against a carbon-intensity trace (used by the scheduler and the tracker).
+#pragma once
+
+#include "core/units.h"
+#include "grid/trace.h"
+#include "op/pue.h"
+
+namespace hpcarbon::op {
+
+/// Eq. 6 with constant carbon intensity. `it_energy` is IT-side energy;
+/// PUE scales it to facility draw.
+Mass operational_carbon(Energy it_energy, CarbonIntensity intensity,
+                        const PueModel& pue = PueModel());
+
+/// Eq. 6 integrated against a trace: constant IT power over
+/// [start, start+duration) in the trace's local time, hourly intensity and
+/// (optionally seasonal) PUE applied per hour. Duration may wrap the year.
+Mass operational_carbon(Power it_power, const grid::CarbonIntensityTrace& trace,
+                        HourOfYear start, Hours duration,
+                        const PueModel& pue = PueModel());
+
+/// Average carbon intensity experienced by a constant-power job over the
+/// window (the effective I_sys of Eq. 6).
+CarbonIntensity effective_intensity(const grid::CarbonIntensityTrace& trace,
+                                    HourOfYear start, Hours duration);
+
+}  // namespace hpcarbon::op

@@ -1,0 +1,33 @@
+#include "sched/budget.h"
+
+#include "core/error.h"
+
+namespace hpcarbon::sched {
+
+void CarbonBudgetLedger::set_allocation(const std::string& user, Mass budget) {
+  HPC_REQUIRE(budget.to_grams() >= 0, "budget must be non-negative");
+  accounts_[user].allocation_g = budget.to_grams();
+}
+
+void CarbonBudgetLedger::charge(const std::string& user, Mass amount) {
+  HPC_REQUIRE(amount.to_grams() >= 0, "charge must be non-negative");
+  accounts_[user].spent_g += amount.to_grams();
+}
+
+Mass CarbonBudgetLedger::allocation(const std::string& user) const {
+  auto it = accounts_.find(user);
+  return Mass::grams(it == accounts_.end() ? 0.0 : it->second.allocation_g);
+}
+
+Mass CarbonBudgetLedger::spent(const std::string& user) const {
+  auto it = accounts_.find(user);
+  return Mass::grams(it == accounts_.end() ? 0.0 : it->second.spent_g);
+}
+
+double CarbonBudgetLedger::remaining_fraction(const std::string& user) const {
+  auto it = accounts_.find(user);
+  if (it == accounts_.end() || it->second.allocation_g <= 0) return 0.0;
+  return 1.0 - it->second.spent_g / it->second.allocation_g;
+}
+
+}  // namespace hpcarbon::sched

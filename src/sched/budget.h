@@ -1,0 +1,52 @@
+// Per-user carbon budget ledger.
+//
+// Implements the paper's incentive-structure implication: "similar to
+// core-hour accounting and budgeting, HPC users should also be provided a
+// carbon budget as part of their allocation, and they could be prioritized
+// to reduce their queue wait time if the carbon footprint of their jobs has
+// been economical."
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/units.h"
+
+namespace hpcarbon::sched {
+
+class CarbonBudgetLedger {
+ public:
+  CarbonBudgetLedger() = default;
+
+  /// Grant a user an allocation-period budget.
+  void set_allocation(const std::string& user, Mass budget);
+
+  /// Charge emitted carbon against a user's budget.
+  void charge(const std::string& user, Mass amount);
+
+  Mass allocation(const std::string& user) const;
+  Mass spent(const std::string& user) const;
+
+  /// Fraction of budget remaining, in (-inf, 1]; negative when overdrawn.
+  /// Users without an allocation are treated as fully spent (0.0).
+  double remaining_fraction(const std::string& user) const;
+
+  bool is_overdrawn(const std::string& user) const {
+    return remaining_fraction(user) < 0.0;
+  }
+
+  /// Priority key: higher = served sooner. Economical users (large
+  /// remaining fraction) jump the queue.
+  double priority(const std::string& user) const {
+    return remaining_fraction(user);
+  }
+
+ private:
+  struct Account {
+    double allocation_g = 0;
+    double spent_g = 0;
+  };
+  std::map<std::string, Account> accounts_;
+};
+
+}  // namespace hpcarbon::sched

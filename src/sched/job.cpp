@@ -1,0 +1,16 @@
+#include "sched/job.h"
+
+namespace hpcarbon::sched {
+
+Site make_site(const std::string& code,
+               const grid::CarbonIntensityTrace& local, int capacity,
+               Energy transfer_energy) {
+  Site s;
+  s.code = code;
+  s.trace_utc = local.to_time_zone(kUtc);
+  s.capacity = capacity;
+  s.transfer_energy = transfer_energy;
+  return s;
+}
+
+}  // namespace hpcarbon::sched

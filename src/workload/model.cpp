@@ -1,0 +1,106 @@
+#include "workload/model.h"
+
+#include "core/error.h"
+
+namespace hpcarbon::workload {
+
+namespace {
+
+// Helper keeping the table below readable.
+BenchmarkModel make(const char* name, Suite suite, double params_m,
+                    double gflops, int batch, double base_tput,
+                    double volta, double ampere, double r, double l) {
+  BenchmarkModel m;
+  m.name = name;
+  m.suite = suite;
+  m.params_millions = params_m;
+  m.gflops_per_sample = gflops;
+  m.batch_per_gpu = batch;
+  m.base_p100_samples_per_s = base_tput;
+  m.volta_factor = volta;
+  m.ampere_factor = ampere;
+  m.ring_overhead = r;
+  m.sync_overhead = l;
+  return m;
+}
+
+// volta/ampere factors encode per-model improvements (1 - 1/factor) whose
+// suite averages reproduce Table 6; r/l encode the Fig. 4 multi-GPU scaling
+// (see model.h). Ring overheads scale with parameter count within a suite.
+std::vector<BenchmarkModel> make_nlp() {
+  return {
+      make("BERT", Suite::kNlp, 110, 530, 32, 28.0, 1.6949, 2.2012, 0.094,
+           0.2715),
+      make("DistilBERT", Suite::kNlp, 66, 270, 32, 56.0, 1.6129, 2.0161,
+           0.057, 0.2715),
+      make("MPNet", Suite::kNlp, 133, 560, 32, 24.0, 1.7986, 2.4175, 0.114,
+           0.2715),
+      make("RoBERTa", Suite::kNlp, 125, 550, 32, 26.0, 1.9231, 2.6709, 0.107,
+           0.2715),
+      make("BART", Suite::kNlp, 406, 980, 16, 10.0, 2.0243, 2.9337, 0.348,
+           0.2715),
+  };
+}
+
+std::vector<BenchmarkModel> make_vision() {
+  return {
+      make("ResNet50", Suite::kVision, 25.6, 24.6, 64, 230.0, 1.4493, 1.9585,
+           0.0045, 0.4244),
+      make("ResNeXt50", Suite::kVision, 25.0, 25.5, 64, 140.0, 1.6949,
+           2.6483, 0.0044, 0.4244),
+      make("ShuffleNetV2", Suite::kVision, 2.3, 0.9, 128, 950.0, 1.2821,
+           1.5447, 0.0004, 0.4244),
+      make("VGG19", Suite::kVision, 143.7, 117.0, 32, 95.0, 2.0408, 3.7106,
+           0.0254, 0.4244),
+      make("ViT", Suite::kVision, 86.6, 105.0, 64, 120.0, 2.5641, 5.6980,
+           0.0153, 0.4244),
+  };
+}
+
+std::vector<BenchmarkModel> make_candle() {
+  return {
+      make("Combo", Suite::kCandle, 13.0, 0.08, 256, 1400.0, 2.5316, 6.1748,
+           0.21, 0.27),
+      make("NT3", Suite::kCandle, 1.0, 0.9, 20, 420.0, 1.6129, 2.5602, 0.10,
+           0.27),
+      make("P1B1", Suite::kCandle, 2.0, 0.01, 100, 3200.0, 1.4286, 2.0121,
+           0.12, 0.27),
+      make("ST1", Suite::kCandle, 5.0, 0.05, 128, 900.0, 2.1277, 4.4326,
+           0.15, 0.27),
+      make("TC1", Suite::kCandle, 1.0, 1.2, 20, 500.0, 1.8519, 3.3671, 0.14,
+           0.27),
+  };
+}
+
+}  // namespace
+
+const std::vector<BenchmarkModel>& models(Suite suite) {
+  static const auto* nlp = new std::vector<BenchmarkModel>(make_nlp());
+  static const auto* vision = new std::vector<BenchmarkModel>(make_vision());
+  static const auto* candle = new std::vector<BenchmarkModel>(make_candle());
+  switch (suite) {
+    case Suite::kNlp: return *nlp;
+    case Suite::kVision: return *vision;
+    case Suite::kCandle: return *candle;
+  }
+  return *nlp;  // unreachable
+}
+
+std::vector<const BenchmarkModel*> all_models() {
+  std::vector<const BenchmarkModel*> out;
+  for (Suite s : all_suites()) {
+    for (const auto& m : models(s)) out.push_back(&m);
+  }
+  return out;
+}
+
+const BenchmarkModel& model_by_name(const std::string& name) {
+  for (Suite s : all_suites()) {
+    for (const auto& m : models(s)) {
+      if (m.name == name) return m;
+    }
+  }
+  throw Error("unknown benchmark model: " + name);
+}
+
+}  // namespace hpcarbon::workload

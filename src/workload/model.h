@@ -1,0 +1,59 @@
+// Analytic models of the fifteen training benchmarks (Table 4).
+//
+// The paper ran these on physical P100/V100/A100 nodes; here each benchmark
+// carries the parameters of an analytic performance model instead:
+//
+//  * base_p100_samples_per_s — single-GPU training throughput on the P100
+//    reference node;
+//  * volta_factor / ampere_factor — per-model speedups over the P100,
+//    calibrated so per-suite average upgrade improvements reproduce the
+//    paper's Table 6 (the suite averages of (1 - 1/factor) land within
+//    ~1 percentage point of every Table 6 cell);
+//  * ring_overhead (r) and sync_overhead (l) — multi-GPU data-parallel
+//    communication costs as fractions of single-GPU step compute:
+//       step(k) = t_comp * (1 + r * 2(k-1)/k + l * (k-1))
+//    i.e. a ring-allreduce bandwidth term plus a per-extra-GPU
+//    synchronization/launch term. Calibrated so the per-suite 1/2/4-GPU
+//    scaling reproduces Fig. 4 (perf-to-embodied ~1.0 at 2 GPUs, ~0.88 for
+//    NLP/CANDLE and ~0.79 for Vision at 4 GPUs).
+//
+// Parameter counts and per-sample FLOPs come from the public model
+// descriptions and make the calibrated overheads physically sensible
+// (e.g. BART's 406M parameters give it the largest ring term of the NLP
+// set; ShuffleNetV2's 2.3M the smallest of Vision).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/suite.h"
+
+namespace hpcarbon::workload {
+
+struct BenchmarkModel {
+  std::string name;
+  Suite suite = Suite::kNlp;
+
+  double params_millions = 0;
+  double gflops_per_sample = 0;  // forward+backward
+  int batch_per_gpu = 0;
+
+  double base_p100_samples_per_s = 0;
+  double volta_factor = 1.0;   // throughput multiplier vs P100
+  double ampere_factor = 1.0;  // throughput multiplier vs P100
+
+  double ring_overhead = 0.0;  // r — allreduce bandwidth cost fraction
+  double sync_overhead = 0.0;  // l — per-extra-GPU sync cost fraction
+
+  /// GPU power utilization while training (fraction of TDP drawn).
+  double gpu_power_utilization = 0.92;
+};
+
+/// The five models of a suite, in Table 4 order.
+const std::vector<BenchmarkModel>& models(Suite suite);
+/// All fifteen models.
+std::vector<const BenchmarkModel*> all_models();
+/// Lookup by name; throws hpcarbon::Error if unknown.
+const BenchmarkModel& model_by_name(const std::string& name);
+
+}  // namespace hpcarbon::workload

@@ -1,0 +1,18 @@
+#include "workload/suite.h"
+
+namespace hpcarbon::workload {
+
+const char* to_string(Suite s) {
+  switch (s) {
+    case Suite::kNlp: return "NLP";
+    case Suite::kVision: return "Vision";
+    case Suite::kCandle: return "CANDLE";
+  }
+  return "?";
+}
+
+std::vector<Suite> all_suites() {
+  return {Suite::kNlp, Suite::kVision, Suite::kCandle};
+}
+
+}  // namespace hpcarbon::workload

@@ -1,0 +1,22 @@
+// Benchmark suites of Table 4: the deep-learning training workloads the
+// paper characterizes on real GPU nodes.
+//
+//   NLP    — HuggingFace question answering: BERT, DistilBERT, MPNet,
+//            RoBERTa, BART.
+//   Vision — PyTorch image classification: ResNet50, ResNeXt50,
+//            ShuffleNetV2, VGG19, ViT.
+//   CANDLE — ANL cancer deep-learning Pilot1 benchmarks: Combo, NT3, P1B1,
+//            ST1, TC1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpcarbon::workload {
+
+enum class Suite { kNlp, kVision, kCandle };
+
+const char* to_string(Suite s);
+std::vector<Suite> all_suites();
+
+}  // namespace hpcarbon::workload

@@ -1,0 +1,116 @@
+#include "op/attribution.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "hw/perf.h"
+
+namespace hpcarbon::op {
+namespace {
+
+grid::CarbonIntensityTrace constant_trace(double v) {
+  return grid::CarbonIntensityTrace(
+      "X", kUtc, std::vector<double>(kHoursPerYear, v));
+}
+
+TEST(Attribution, FullServiceLifeAttributesAllEmbodiedCarbon) {
+  const auto node = hw::v100_node();
+  AmortizationPolicy policy;
+  const Hours lifetime_busy =
+      Hours::hours(policy.service_life_years * 8760.0 *
+                   policy.expected_utilization);
+  const Mass attributed = amortized_embodied(node, lifetime_busy, policy);
+  EXPECT_NEAR(attributed.to_grams(),
+              hw::node_embodied(node).to_grams(),
+              hw::node_embodied(node).to_grams() * 1e-9);
+}
+
+TEST(Attribution, LinearInBusyTime) {
+  const auto node = hw::a100_node();
+  const Mass one = amortized_embodied(node, Hours::hours(10));
+  const Mass two = amortized_embodied(node, Hours::hours(20));
+  EXPECT_NEAR(two.to_grams(), 2.0 * one.to_grams(), 1e-9);
+  EXPECT_DOUBLE_EQ(amortized_embodied(node, Hours::hours(0)).to_grams(), 0.0);
+}
+
+TEST(Attribution, ShorterLifeOrLowerUtilizationRaisesTheRate) {
+  const auto node = hw::v100_node();
+  AmortizationPolicy base;
+  AmortizationPolicy short_life;
+  short_life.service_life_years = 3.0;
+  AmortizationPolicy idle;
+  idle.expected_utilization = 0.2;
+  EXPECT_GT(embodied_rate_g_per_hour(node, short_life),
+            embodied_rate_g_per_hour(node, base));
+  EXPECT_GT(embodied_rate_g_per_hour(node, idle),
+            embodied_rate_g_per_hour(node, base));
+}
+
+TEST(Attribution, BilledTrainingCombinesBothTerms) {
+  const auto trace = constant_trace(200.0);
+  Tracker tracker(trace, HourOfYear(0));
+  const auto node = hw::v100_node();
+  const auto& bert = workload::model_by_name("BERT");
+  const double samples = hw::throughput(bert, node) * 3600.0;  // 1 h job
+  const auto bill = billed_training(tracker, node, bert, samples);
+  EXPECT_NEAR(bill.embodied_share.to_grams(),
+              embodied_rate_g_per_hour(node), 1.0);  // ~1 busy hour
+  EXPECT_GT(bill.operational.carbon.to_grams(), 0.0);
+  EXPECT_NEAR(bill.total().to_grams(),
+              bill.operational.carbon.to_grams() +
+                  bill.embodied_share.to_grams(),
+              1e-9);
+  EXPECT_GT(bill.embodied_fraction(), 0.0);
+  EXPECT_LT(bill.embodied_fraction(), 1.0);
+}
+
+TEST(Attribution, PartialNodeJobsPayProportionally) {
+  const auto trace = constant_trace(200.0);
+  Tracker tracker(trace, HourOfYear(0));
+  const auto node = hw::v100_node();
+  const auto& bert = workload::model_by_name("BERT");
+  // Same wall-clock duration on 1 vs 4 GPUs: bill 1/4 vs 4/4 of the node.
+  const double hour_samples_1 = hw::throughput(bert, node, 1) * 3600.0;
+  const double hour_samples_4 = hw::throughput(bert, node, 4) * 3600.0;
+  const auto b1 =
+      billed_training(tracker, node, bert, hour_samples_1, {}, 1);
+  const auto b4 =
+      billed_training(tracker, node, bert, hour_samples_4, {}, 4);
+  EXPECT_NEAR(b4.embodied_share.to_grams() / b1.embodied_share.to_grams(),
+              4.0, 1e-6);
+}
+
+TEST(Attribution, EmbodiedFractionGrowsAsGridsDecarbonize) {
+  // The accounting version of Observation 5's implication: on hydro the
+  // embodied share dominates the job's bill.
+  const auto dirty = constant_trace(500.0);
+  const auto hydro = constant_trace(20.0);
+  const auto node = hw::a100_node();
+  const auto& vit = workload::model_by_name("ViT");
+  const double samples = 1e6;
+  Tracker td(dirty, HourOfYear(0)), th(hydro, HourOfYear(0));
+  const auto bd = billed_training(td, node, vit, samples);
+  const auto bh = billed_training(th, node, vit, samples);
+  EXPECT_NEAR(bd.embodied_share.to_grams(), bh.embodied_share.to_grams(),
+              1e-6);
+  // 20 g/kWh hydro: embodied ~18% of the bill; 500 g/kWh coal: ~1%.
+  EXPECT_GT(bh.embodied_fraction(), 0.15);
+  EXPECT_LT(bd.embodied_fraction(), 0.05);
+  EXPECT_GT(bh.embodied_fraction(), 10.0 * bd.embodied_fraction());
+}
+
+TEST(Attribution, Validation) {
+  const auto node = hw::v100_node();
+  AmortizationPolicy bad;
+  bad.service_life_years = 0;
+  EXPECT_THROW(embodied_rate_g_per_hour(node, bad), Error);
+  bad = AmortizationPolicy{};
+  bad.expected_utilization = 0;
+  EXPECT_THROW(embodied_rate_g_per_hour(node, bad), Error);
+  bad.expected_utilization = 1.5;
+  EXPECT_THROW(embodied_rate_g_per_hour(node, bad), Error);
+  EXPECT_THROW(amortized_embodied(node, Hours::hours(-1)), Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::op

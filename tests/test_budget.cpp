@@ -1,0 +1,70 @@
+#include "sched/budget.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace hpcarbon::sched {
+namespace {
+
+TEST(Budget, AllocationAndCharge) {
+  CarbonBudgetLedger ledger;
+  ledger.set_allocation("alice", Mass::kilograms(100));
+  EXPECT_DOUBLE_EQ(ledger.allocation("alice").to_kilograms(), 100.0);
+  EXPECT_DOUBLE_EQ(ledger.spent("alice").to_grams(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_fraction("alice"), 1.0);
+
+  ledger.charge("alice", Mass::kilograms(25));
+  EXPECT_DOUBLE_EQ(ledger.spent("alice").to_kilograms(), 25.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_fraction("alice"), 0.75);
+  EXPECT_FALSE(ledger.is_overdrawn("alice"));
+}
+
+TEST(Budget, OverdraftDetected) {
+  CarbonBudgetLedger ledger;
+  ledger.set_allocation("bob", Mass::kilograms(10));
+  ledger.charge("bob", Mass::kilograms(15));
+  EXPECT_LT(ledger.remaining_fraction("bob"), 0.0);
+  EXPECT_TRUE(ledger.is_overdrawn("bob"));
+}
+
+TEST(Budget, UnknownUserTreatedAsSpent) {
+  CarbonBudgetLedger ledger;
+  EXPECT_DOUBLE_EQ(ledger.remaining_fraction("nobody"), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.allocation("nobody").to_grams(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.spent("nobody").to_grams(), 0.0);
+}
+
+TEST(Budget, ChargesAccumulate) {
+  CarbonBudgetLedger ledger;
+  ledger.set_allocation("carol", Mass::kilograms(100));
+  for (int i = 0; i < 10; ++i) ledger.charge("carol", Mass::kilograms(5));
+  EXPECT_DOUBLE_EQ(ledger.spent("carol").to_kilograms(), 50.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining_fraction("carol"), 0.5);
+}
+
+TEST(Budget, PriorityRanksEconomicalUsersFirst) {
+  // The paper's incentive: economical users "could be prioritized to reduce
+  // their queue wait time".
+  CarbonBudgetLedger ledger;
+  ledger.set_allocation("thrifty", Mass::kilograms(100));
+  ledger.set_allocation("spender", Mass::kilograms(100));
+  ledger.charge("thrifty", Mass::kilograms(10));
+  ledger.charge("spender", Mass::kilograms(90));
+  EXPECT_GT(ledger.priority("thrifty"), ledger.priority("spender"));
+}
+
+TEST(Budget, Validation) {
+  CarbonBudgetLedger ledger;
+  EXPECT_THROW(ledger.set_allocation("x", Mass::grams(-1)), Error);
+  EXPECT_THROW(ledger.charge("x", Mass::grams(-1)), Error);
+}
+
+TEST(Budget, ZeroAllocationIsFullySpent) {
+  CarbonBudgetLedger ledger;
+  ledger.set_allocation("zero", Mass::grams(0));
+  EXPECT_DOUBLE_EQ(ledger.remaining_fraction("zero"), 0.0);
+}
+
+}  // namespace
+}  // namespace hpcarbon::sched

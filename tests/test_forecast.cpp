@@ -1,0 +1,105 @@
+#include "grid/forecast.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+
+namespace hpcarbon::grid {
+namespace {
+
+CarbonIntensityTrace constant_trace(double v) {
+  return CarbonIntensityTrace("X", kUtc,
+                              std::vector<double>(kHoursPerYear, v));
+}
+
+CarbonIntensityTrace square_trace(double lo, double hi) {
+  std::vector<double> v(kHoursPerYear);
+  for (int i = 0; i < kHoursPerYear; ++i) {
+    v[static_cast<size_t>(i)] = (i % 24) < 12 ? lo : hi;
+  }
+  return CarbonIntensityTrace("SQ", kUtc, v);
+}
+
+TEST(Forecast, PersistencePredictsLastValue) {
+  const auto trace = constant_trace(250.0);
+  PersistenceForecast f(trace);
+  EXPECT_DOUBLE_EQ(f.predict(HourOfYear(100), 0), 250.0);
+  EXPECT_DOUBLE_EQ(f.predict(HourOfYear(100), 24), 250.0);
+}
+
+TEST(Forecast, PersistenceIsCausal) {
+  std::vector<double> v(kHoursPerYear, 100.0);
+  v[499] = 400.0;  // spike in the last observed hour
+  const CarbonIntensityTrace trace("X", kUtc, v);
+  PersistenceForecast f(trace);
+  // Origin 500: last observation is hour 499 -> 400, not the future 100.
+  EXPECT_DOUBLE_EQ(f.predict(HourOfYear(500), 6), 400.0);
+}
+
+TEST(Forecast, DiurnalTemplateLearnsSquareWave) {
+  const auto trace = square_trace(50.0, 500.0);
+  DiurnalTemplateForecast f(trace, 7, 0.0);
+  const HourOfYear origin(100 * 24);  // far enough in for a full window
+  // Predicting into the clean half vs the dirty half.
+  EXPECT_NEAR(f.predict(origin, 2), 50.0, 1e-9);    // hour 2: clean
+  EXPECT_NEAR(f.predict(origin, 14), 500.0, 1e-9);  // hour 14: dirty
+}
+
+TEST(Forecast, TemplateBeatsPersistenceOnDiurnalGrids) {
+  // CISO's duck curve is diurnal: the template must beat persistence at
+  // 6-24 hour horizons.
+  const auto trace = GridSimulator(ciso()).run();
+  PersistenceForecast persistence(trace);
+  DiurnalTemplateForecast tmpl(trace);
+  for (int horizon : {6, 12, 24}) {
+    const auto sp = evaluate(persistence, trace, horizon);
+    const auto st = evaluate(tmpl, trace, horizon);
+    EXPECT_LT(st.mae, sp.mae) << "horizon " << horizon;
+  }
+}
+
+TEST(Forecast, SkillDegradesWithHorizonForPersistence) {
+  const auto trace = GridSimulator(eso()).run();
+  PersistenceForecast f(trace);
+  const auto h1 = evaluate(f, trace, 1);
+  const auto h12 = evaluate(f, trace, 12);
+  EXPECT_LT(h1.mae, h12.mae);
+  EXPECT_GT(h1.mae, 0.0);
+  EXPECT_GT(h12.mape_percent, h1.mape_percent);
+}
+
+TEST(Forecast, WindowAveragesHourPredictions) {
+  const auto trace = square_trace(100.0, 300.0);
+  DiurnalTemplateForecast f(trace, 7, 0.0);
+  const HourOfYear origin(50 * 24);
+  // Window [10, 14): hours 10,11 clean (100), hours 12,13 dirty (300).
+  EXPECT_NEAR(f.predict_window(origin, 10, 4.0), 200.0, 1e-9);
+  EXPECT_THROW(f.predict_window(origin, 0, 0.0), Error);
+}
+
+TEST(Forecast, LevelBlendTracksRegimeShift) {
+  // A persistent +100 offset on the last day must lift blended predictions.
+  std::vector<double> v(kHoursPerYear, 200.0);
+  for (int i = 99 * 24; i < 100 * 24; ++i) {
+    v[static_cast<size_t>(i)] = 300.0;
+  }
+  const CarbonIntensityTrace trace("X", kUtc, v);
+  DiurnalTemplateForecast blended(trace, 14, 0.5);
+  DiurnalTemplateForecast pure(trace, 14, 0.0);
+  const HourOfYear origin(100 * 24);
+  EXPECT_GT(blended.predict(origin, 3), pure.predict(origin, 3));
+}
+
+TEST(Forecast, Validation) {
+  const auto trace = constant_trace(100.0);
+  EXPECT_THROW(DiurnalTemplateForecast(trace, 0), Error);
+  EXPECT_THROW(DiurnalTemplateForecast(trace, 7, 1.5), Error);
+  PersistenceForecast f(trace);
+  EXPECT_THROW(evaluate(f, trace, -1), Error);
+  EXPECT_THROW(evaluate(f, trace, 1, kHoursPerYear), Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::grid

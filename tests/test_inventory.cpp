@@ -1,0 +1,144 @@
+// System-inventory tests: RQ 4 / Fig. 5 and Observation 5.
+#include "lifecycle/inventory.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "lifecycle/systems.h"
+
+namespace hpcarbon::lifecycle {
+namespace {
+
+using embodied::PartClass;
+using embodied::PartId;
+
+TEST(Inventory, BreakdownSumsComponents) {
+  SystemInventory s;
+  s.name = "tiny";
+  s.components = {{PartId::kA100Pcie40, 2}, {PartId::kDram64GbDdr4, 4}};
+  const auto b = class_breakdown(s);
+  const double gpu =
+      2 * embodied::embodied_of(PartId::kA100Pcie40).total().to_grams();
+  const double dram =
+      4 * embodied::embodied_of(PartId::kDram64GbDdr4).total().to_grams();
+  EXPECT_NEAR(b.by_class[static_cast<size_t>(PartClass::kGpu)].to_grams(), gpu,
+              1e-6);
+  EXPECT_NEAR(b.by_class[static_cast<size_t>(PartClass::kDram)].to_grams(),
+              dram, 1e-6);
+  EXPECT_NEAR(b.total().to_grams(), gpu + dram, 1e-6);
+  EXPECT_NEAR(b.share_percent(PartClass::kGpu), 100.0 * gpu / (gpu + dram),
+              1e-9);
+  EXPECT_DOUBLE_EQ(b.share_percent(PartClass::kHdd), 0.0);
+  EXPECT_NEAR(system_embodied(s).to_grams(), gpu + dram, 1e-6);
+}
+
+TEST(Inventory, RejectsNegativeCounts) {
+  SystemInventory s;
+  s.components = {{PartId::kA100Pcie40, -1}};
+  EXPECT_THROW(class_breakdown(s), Error);
+}
+
+TEST(Inventory, EmptyInventoryHasZeroShares) {
+  SystemInventory s;
+  const auto b = class_breakdown(s);
+  EXPECT_DOUBLE_EQ(b.total().to_grams(), 0.0);
+  EXPECT_DOUBLE_EQ(b.share_percent(PartClass::kGpu), 0.0);
+}
+
+TEST(Systems, Table2Metadata) {
+  const auto systems = studied_systems();
+  ASSERT_EQ(systems.size(), 3u);
+  EXPECT_EQ(systems[0].name, "Frontier");
+  EXPECT_EQ(systems[1].name, "LUMI");
+  EXPECT_EQ(systems[2].name, "Perlmutter");
+  EXPECT_EQ(systems[0].cores, 8730112);
+  EXPECT_EQ(systems[1].cores, 2220288);
+  EXPECT_EQ(systems[2].cores, 761856);
+  EXPECT_EQ(systems[0].year, 2021);
+  EXPECT_EQ(systems[1].year, 2022);
+  EXPECT_NE(systems[1].location.find("Finland"), std::string::npos);
+}
+
+TEST(Systems, FrontierSharesMatchFig5) {
+  // Paper: GPU 36%, CPU 5%, DRAM 17%, SSD 12%, HDD 30%.
+  const auto b = class_breakdown(frontier());
+  EXPECT_NEAR(b.share_percent(PartClass::kGpu), 36.0, 4.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kCpu), 5.0, 2.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kDram), 17.0, 3.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kSsd), 12.0, 3.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kHdd), 30.0, 3.0);
+}
+
+TEST(Systems, LumiSharesMatchFig5) {
+  // Paper: GPU 42%, CPU 12%, DRAM 25%, SSD 6%, HDD 15%.
+  const auto b = class_breakdown(lumi());
+  EXPECT_NEAR(b.share_percent(PartClass::kGpu), 42.0, 4.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kCpu), 12.0, 3.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kDram), 25.0, 3.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kSsd), 6.0, 2.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kHdd), 15.0, 3.0);
+}
+
+TEST(Systems, PerlmutterSharesMatchFig5) {
+  // Paper: GPU 22%, CPU 18%, DRAM 30%, SSD 30%, HDD 0% (all-flash).
+  const auto b = class_breakdown(perlmutter());
+  EXPECT_NEAR(b.share_percent(PartClass::kGpu), 22.0, 5.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kCpu), 18.0, 4.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kDram), 30.0, 5.0);
+  EXPECT_NEAR(b.share_percent(PartClass::kSsd), 30.0, 5.0);
+  EXPECT_DOUBLE_EQ(b.share_percent(PartClass::kHdd), 0.0);
+}
+
+TEST(Systems, MemoryAndStorageAreMajorContributors) {
+  // Observation 5: memory+storage ~60% for Frontier and Perlmutter, ~50%
+  // for LUMI.
+  EXPECT_NEAR(class_breakdown(frontier()).memory_storage_share_percent(),
+              60.0, 5.0);
+  EXPECT_NEAR(class_breakdown(perlmutter()).memory_storage_share_percent(),
+              60.0, 10.0);
+  EXPECT_NEAR(class_breakdown(lumi()).memory_storage_share_percent(), 50.0,
+              6.0);
+}
+
+TEST(Systems, FrontierGpuDwarfsCpu) {
+  // "the embodied carbon in GPUs is more than 7x that of the CPUs".
+  const auto b = class_breakdown(frontier());
+  EXPECT_GT(b.share_percent(PartClass::kGpu) /
+                b.share_percent(PartClass::kCpu),
+            7.0);
+}
+
+TEST(Systems, GpusExceedCpusEverywhere) {
+  // Fig. 5: GPUs have consistently higher embodied carbon than CPUs in all
+  // three systems.
+  for (const auto& sys : studied_systems()) {
+    const auto b = class_breakdown(sys);
+    EXPECT_GT(b.share_percent(PartClass::kGpu),
+              b.share_percent(PartClass::kCpu))
+        << sys.name;
+  }
+}
+
+TEST(Systems, PerlmutterMostBalancedComputeSplit) {
+  // "Perlmutter has a more balanced embodied carbon distribution between
+  //  CPUs and GPUs".
+  auto ratio = [](const SystemInventory& s) {
+    const auto b = class_breakdown(s);
+    return b.share_percent(PartClass::kGpu) / b.share_percent(PartClass::kCpu);
+  };
+  EXPECT_LT(ratio(perlmutter()), ratio(lumi()));
+  EXPECT_LT(ratio(perlmutter()), ratio(frontier()));
+  EXPECT_LT(ratio(perlmutter()), 2.0);
+}
+
+TEST(Systems, DramContributesSignificantlyEverywhere) {
+  // Observation 5: "DRAM contributes significantly to overall embodied
+  //  carbon for all evaluated supercomputers".
+  for (const auto& sys : studied_systems()) {
+    EXPECT_GT(class_breakdown(sys).share_percent(PartClass::kDram), 15.0)
+        << sys.name;
+  }
+}
+
+}  // namespace
+}  // namespace hpcarbon::lifecycle

@@ -1,0 +1,105 @@
+#include "op/operational.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace hpcarbon::op {
+namespace {
+
+grid::CarbonIntensityTrace constant_trace(double v) {
+  return grid::CarbonIntensityTrace(
+      "X", kUtc, std::vector<double>(kHoursPerYear, v));
+}
+
+TEST(Pue, ConstantModel) {
+  const PueModel pue(1.2);
+  EXPECT_DOUBLE_EQ(pue.base(), 1.2);
+  EXPECT_DOUBLE_EQ(pue.at(HourOfYear(0)), 1.2);
+  EXPECT_DOUBLE_EQ(pue.at(HourOfYear(5000)), 1.2);
+  EXPECT_DOUBLE_EQ(pue.annual_mean(), 1.2);
+}
+
+TEST(Pue, SeasonalModelPeaksInSummer) {
+  const PueModel pue(1.3, 0.1, 200);
+  EXPECT_NEAR(pue.at(HourOfYear(200 * 24)), 1.4, 1e-9);
+  // Opposite phase (~6 months away) is the trough.
+  EXPECT_NEAR(pue.at(HourOfYear(17 * 24)), 1.2, 0.01);
+}
+
+TEST(Pue, RejectsNonPhysicalValues) {
+  EXPECT_THROW(PueModel(0.9), Error);
+  EXPECT_THROW(PueModel(1.1, 0.2), Error);  // would dip below 1.0
+  EXPECT_THROW(PueModel(1.2, -0.1), Error);
+}
+
+TEST(Operational, Eq6ConstantIntensity) {
+  // C_op = I * E * PUE: 300 g/kWh * 10 kWh * 1.2 = 3.6 kg.
+  const Mass m = operational_carbon(Energy::kilowatt_hours(10),
+                                    CarbonIntensity::grams_per_kwh(300),
+                                    PueModel(1.2));
+  EXPECT_NEAR(m.to_kilograms(), 3.6, 1e-9);
+}
+
+TEST(Operational, Eq6DefaultsAndValidation) {
+  const Mass m = operational_carbon(Energy::kilowatt_hours(1),
+                                    CarbonIntensity::grams_per_kwh(100));
+  EXPECT_NEAR(m.to_grams(), 120.0, 1e-9);  // default PUE 1.2
+  EXPECT_THROW(operational_carbon(Energy::kilowatt_hours(-1),
+                                  CarbonIntensity::grams_per_kwh(100)),
+               Error);
+}
+
+TEST(Operational, TraceIntegrationMatchesConstantCase) {
+  const auto trace = constant_trace(250.0);
+  const Mass m = operational_carbon(Power::kilowatts(2), trace, HourOfYear(0),
+                                    Hours::hours(10), PueModel(1.2));
+  EXPECT_NEAR(m.to_kilograms(), 2.0 * 10 * 1.2 * 250 / 1000.0, 1e-9);
+}
+
+TEST(Operational, TraceIntegrationPricesHourly) {
+  std::vector<double> v(kHoursPerYear, 100.0);
+  v[1] = 500.0;  // expensive second hour
+  const grid::CarbonIntensityTrace trace("X", kUtc, v);
+  const PueModel pue(1.0);
+  const Mass m = operational_carbon(Power::kilowatts(1), trace, HourOfYear(0),
+                                    Hours::hours(2), pue);
+  EXPECT_NEAR(m.to_grams(), 100.0 + 500.0, 1e-9);
+  // Fractional tail hour weighted by its fraction.
+  const Mass m15 = operational_carbon(Power::kilowatts(1), trace,
+                                      HourOfYear(0), Hours::hours(1.5), pue);
+  EXPECT_NEAR(m15.to_grams(), 100.0 + 0.5 * 500.0, 1e-9);
+}
+
+TEST(Operational, TraceIntegrationWrapsYear) {
+  std::vector<double> v(kHoursPerYear, 100.0);
+  v[0] = 900.0;
+  const grid::CarbonIntensityTrace trace("X", kUtc, v);
+  const Mass m = operational_carbon(Power::kilowatts(1), trace,
+                                    HourOfYear(kHoursPerYear - 1),
+                                    Hours::hours(2), PueModel(1.0));
+  EXPECT_NEAR(m.to_grams(), 100.0 + 900.0, 1e-9);
+}
+
+TEST(Operational, EffectiveIntensityIsWindowMean) {
+  std::vector<double> v(kHoursPerYear, 100.0);
+  v[0] = 300.0;
+  const grid::CarbonIntensityTrace trace("X", kUtc, v);
+  EXPECT_NEAR(effective_intensity(trace, HourOfYear(0), Hours::hours(2))
+                  .to_g_per_kwh(),
+              200.0, 1e-9);
+}
+
+TEST(Operational, GreenerGridMeansLessCarbonSameEnergy) {
+  // Sec. 6: "a system with higher energy efficiency does not necessarily
+  // have lower operational carbon" — A at 20 g/kWh beats B at 400 g/kWh
+  // even when B uses half the energy.
+  const Mass a = operational_carbon(Energy::kilowatt_hours(100),
+                                    CarbonIntensity::grams_per_kwh(20));
+  const Mass b = operational_carbon(Energy::kilowatt_hours(50),
+                                    CarbonIntensity::grams_per_kwh(400));
+  EXPECT_LT(a.to_grams(), b.to_grams());
+}
+
+}  // namespace
+}  // namespace hpcarbon::op

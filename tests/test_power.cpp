@@ -1,0 +1,88 @@
+#include "hw/power.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "hw/perf.h"
+
+namespace hpcarbon::hw {
+namespace {
+
+using workload::Suite;
+
+TEST(Power, IdleBelowTraining) {
+  for (const NodeConfig& n : {p100_node(), v100_node(), a100_node()}) {
+    const double idle = node_idle_power(n).to_watts();
+    const double busy = node_training_power(n, Suite::kNlp).to_watts();
+    EXPECT_GT(idle, 0.0) << n.name;
+    EXPECT_GT(busy, idle) << n.name;
+  }
+}
+
+TEST(Power, TrainingPowerInPhysicalRange) {
+  // 4-GPU training nodes draw roughly 1-2.5 kW.
+  for (const NodeConfig& n : {p100_node(), v100_node(), a100_node()}) {
+    for (Suite s : workload::all_suites()) {
+      const double w = node_training_power(n, s).to_watts();
+      EXPECT_GT(w, 900.0) << n.name;
+      EXPECT_LT(w, 2500.0) << n.name;
+    }
+  }
+}
+
+TEST(Power, IdleGpusDrawIdleFloor) {
+  const NodeConfig v = v100_node();
+  const auto& bert = workload::model_by_name("BERT");
+  const double all4 = node_training_power(v, bert, 4).to_watts();
+  const double just1 = node_training_power(v, bert, 1).to_watts();
+  const auto& gpu = embodied::processor(v.gpu);
+  // Difference: 3 GPUs move from active draw to idle floor.
+  const double expected =
+      3 * (gpu.tdp_watts * bert.gpu_power_utilization - gpu.idle_watts);
+  EXPECT_NEAR(all4 - just1, expected, 1e-9);
+}
+
+TEST(Power, AveragePowerInterpolatesUsage) {
+  const NodeConfig v = v100_node();
+  const double idle = node_idle_power(v).to_watts();
+  const double busy = node_training_power(v, Suite::kNlp).to_watts();
+  EXPECT_NEAR(node_average_power(v, Suite::kNlp, 0.0).to_watts(), idle, 1e-9);
+  EXPECT_NEAR(node_average_power(v, Suite::kNlp, 1.0).to_watts(), busy, 1e-9);
+  EXPECT_NEAR(node_average_power(v, Suite::kNlp, 0.4).to_watts(),
+              idle + 0.4 * (busy - idle), 1e-9);
+  EXPECT_THROW(node_average_power(v, Suite::kNlp, 1.5), Error);
+  EXPECT_THROW(node_average_power(v, Suite::kNlp, -0.1), Error);
+}
+
+TEST(Power, TrainingEnergyMatchesPowerTimesTime) {
+  const NodeConfig v = v100_node();
+  const auto& bert = workload::model_by_name("BERT");
+  const double samples = 1e6;
+  const Energy e = training_energy(v, bert, samples);
+  const double tput = throughput(bert, v);
+  const double hours = samples / tput / 3600.0;
+  const double expect_kwh =
+      node_training_power(v, bert).to_kilowatts() * hours;
+  EXPECT_NEAR(e.to_kwh(), expect_kwh, 1e-9);
+  EXPECT_THROW(training_energy(v, bert, 0), Error);
+}
+
+TEST(Power, NewerNodesUseLessEnergyPerJob) {
+  // The physical basis of RQ 7: upgrades save operational energy.
+  const double samples = 1e6;
+  for (const auto* m : workload::all_models()) {
+    const double p = training_energy(p100_node(), *m, samples).to_kwh();
+    const double v = training_energy(v100_node(), *m, samples).to_kwh();
+    const double a = training_energy(a100_node(), *m, samples).to_kwh();
+    EXPECT_LT(v, p) << m->name;
+    EXPECT_LT(a, v) << m->name;
+  }
+}
+
+TEST(Power, RejectsBadGpuCount) {
+  const auto& bert = workload::model_by_name("BERT");
+  EXPECT_THROW(node_training_power(v100_node(), bert, 5), Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::hw

@@ -1,0 +1,158 @@
+// Calibration tests: the seven Table 3 regions must reproduce the paper's
+// Fig. 6 findings (RQ 5). Bands are deliberately loose — they encode the
+// paper's *claims*, not exact numbers.
+#include "grid/presets.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "grid/analysis.h"
+#include "grid/simulator.h"
+
+namespace hpcarbon::grid {
+namespace {
+
+class PresetsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    traces_ = new std::vector<CarbonIntensityTrace>(
+        generate_traces(all_regions()));
+    summaries_ = new std::vector<RegionSummary>(summarize(*traces_));
+  }
+  static void TearDownTestSuite() {
+    delete traces_;
+    delete summaries_;
+    traces_ = nullptr;
+    summaries_ = nullptr;
+  }
+  static const RegionSummary& by_code(const std::string& code) {
+    for (const auto& s : *summaries_) {
+      if (s.code == code) return s;
+    }
+    throw Error("no region " + code);
+  }
+  static std::vector<CarbonIntensityTrace>* traces_;
+  static std::vector<RegionSummary>* summaries_;
+};
+
+std::vector<CarbonIntensityTrace>* PresetsTest::traces_ = nullptr;
+std::vector<RegionSummary>* PresetsTest::summaries_ = nullptr;
+
+TEST_F(PresetsTest, SevenOperatorsOfTable3) {
+  EXPECT_EQ(traces_->size(), 7u);
+  const auto regions = all_regions();
+  std::map<std::string, std::string> countries;
+  for (const auto& r : regions) countries[r.code] = r.country;
+  EXPECT_EQ(countries["KN"], "Japan");
+  EXPECT_EQ(countries["TK"], "Japan");
+  EXPECT_EQ(countries["ESO"], "United Kingdom");
+  EXPECT_EQ(countries["CISO"], "United States");
+  EXPECT_EQ(countries["PJM"], "United States");
+  EXPECT_EQ(countries["MISO"], "United States, Canada");
+  EXPECT_EQ(countries["ERCOT"], "United States");
+}
+
+TEST_F(PresetsTest, EsoHasLowestMedianBelow200) {
+  // "the ESO region has the lowest carbon intensity among all regions,
+  //  with a median of less than 200 gCO2/kWh".
+  const double eso_med = by_code("ESO").box.median;
+  EXPECT_LT(eso_med, 200.0);
+  for (const auto& s : *summaries_) {
+    if (s.code == "ESO") continue;
+    EXPECT_GT(s.box.median, eso_med) << s.code;
+  }
+}
+
+TEST_F(PresetsTest, TokyoHighestMedianAboutThreeTimesEso) {
+  // "The TK region has the highest carbon intensity … medium annual carbon
+  //  intensity is three times ESO's."
+  const double tk = by_code("TK").box.median;
+  for (const auto& s : *summaries_) {
+    if (s.code == "TK") continue;
+    EXPECT_GT(tk, s.box.median) << s.code;
+  }
+  EXPECT_NEAR(tk / by_code("ESO").box.median, 3.0, 0.5);
+}
+
+TEST_F(PresetsTest, GreenestRegionsHaveHighestVariation) {
+  // "The two regions with the lowest medium carbon intensity — ESO and
+  //  CISO — also have the most variations."
+  const double eso_cov = by_code("ESO").cov_percent;
+  const double ciso_cov = by_code("CISO").cov_percent;
+  for (const auto& s : *summaries_) {
+    if (s.code == "ESO" || s.code == "CISO") continue;
+    EXPECT_LT(s.cov_percent, eso_cov) << s.code;
+    EXPECT_LT(s.cov_percent, ciso_cov) << s.code;
+  }
+  EXPECT_GT(eso_cov, 25.0);
+  EXPECT_GT(ciso_cov, 25.0);
+}
+
+TEST_F(PresetsTest, JapaneseRegionsHaveLeastVariation) {
+  // "the regions with the highest medium carbon intensity — TK and KN —
+  //  have the least carbon intensity variation."
+  const double tk = by_code("TK").cov_percent;
+  const double kn = by_code("KN").cov_percent;
+  EXPECT_LT(tk, 10.0);
+  EXPECT_LT(kn, 10.0);
+  for (const auto& s : *summaries_) {
+    if (s.code == "TK" || s.code == "KN" || s.code == "MISO") continue;
+    EXPECT_GT(s.cov_percent, tk) << s.code;
+  }
+}
+
+TEST_F(PresetsTest, CisoSecondGreenest) {
+  const double ciso = by_code("CISO").box.median;
+  EXPECT_GT(ciso, by_code("ESO").box.median);
+  EXPECT_LT(ciso, by_code("PJM").box.median);
+  EXPECT_LT(ciso, by_code("TK").box.median);
+}
+
+TEST_F(PresetsTest, MediansInPhysicalRange) {
+  for (const auto& s : *summaries_) {
+    EXPECT_GT(s.box.median, 50.0) << s.code;
+    EXPECT_LT(s.box.median, 650.0) << s.code;
+    EXPECT_GE(s.box.whisker_low, 0.0) << s.code;
+    EXPECT_LT(s.box.max, 1000.0) << s.code;
+  }
+}
+
+TEST_F(PresetsTest, PjmAndErcotMediansSimilar) {
+  // Sec. 4: "even when two regions have very similar carbon intensity
+  //  (e.g. Mid-Atlantic US and Texas)".
+  const double pjm = by_code("PJM").box.median;
+  const double ercot = by_code("ERCOT").box.median;
+  EXPECT_NEAR(pjm / ercot, 1.0, 0.2);
+}
+
+TEST_F(PresetsTest, Fig7RegionsAreEsoCisoErcot) {
+  const auto f = fig7_regions();
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].code, "ESO");
+  EXPECT_EQ(f[1].code, "CISO");
+  EXPECT_EQ(f[2].code, "ERCOT");
+}
+
+TEST_F(PresetsTest, TimeZonesMatchOperators) {
+  for (const auto& r : all_regions()) {
+    if (r.code == "KN" || r.code == "TK") {
+      EXPECT_EQ(r.tz.utc_offset_hours(), 9) << r.code;
+    }
+    if (r.code == "ESO") {
+      EXPECT_EQ(r.tz.utc_offset_hours(), 0);
+    }
+    if (r.code == "CISO") {
+      EXPECT_EQ(r.tz.utc_offset_hours(), -8);
+    }
+    if (r.code == "ERCOT" || r.code == "MISO") {
+      EXPECT_EQ(r.tz.utc_offset_hours(), -6) << r.code;
+    }
+    if (r.code == "PJM") {
+      EXPECT_EQ(r.tz.utc_offset_hours(), -5);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpcarbon::grid

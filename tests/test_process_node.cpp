@@ -1,0 +1,68 @@
+#include "embodied/process_node.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace hpcarbon::embodied {
+namespace {
+
+TEST(ProcessNode, FootprintRisesWithNewerNodes) {
+  // ACT-family trend: per-area carbon rises from mature to EUV-era nodes.
+  const double n32 = fab_footprint(ProcessNode::nm32).total_g_per_cm2();
+  const double n16 = fab_footprint(ProcessNode::nm16).total_g_per_cm2();
+  const double n12 = fab_footprint(ProcessNode::nm12).total_g_per_cm2();
+  const double n7 = fab_footprint(ProcessNode::nm7).total_g_per_cm2();
+  const double n6 = fab_footprint(ProcessNode::nm6).total_g_per_cm2();
+  const double n5 = fab_footprint(ProcessNode::nm5).total_g_per_cm2();
+  EXPECT_LT(n32, n16);
+  EXPECT_LT(n16, n12);
+  EXPECT_LT(n12, n7);
+  EXPECT_LT(n7, n6);
+  EXPECT_LT(n6, n5);
+  // Magnitudes in the published kgCO2/cm^2 band.
+  EXPECT_GT(n32, 500.0);
+  EXPECT_LT(n5, 2500.0);
+}
+
+TEST(ProcessNode, ComponentsArePositive) {
+  for (auto node : {ProcessNode::nm32, ProcessNode::nm28, ProcessNode::nm16,
+                    ProcessNode::nm14, ProcessNode::nm12, ProcessNode::nm7,
+                    ProcessNode::nm6, ProcessNode::nm5}) {
+    const FabFootprint f = fab_footprint(node);
+    EXPECT_GT(f.fpa_g_per_cm2, 0.0);
+    EXPECT_GT(f.gpa_g_per_cm2, 0.0);
+    EXPECT_GT(f.mpa_g_per_cm2, 0.0);
+  }
+}
+
+TEST(ProcessNode, Eq3Arithmetic) {
+  // (FPA+GPA+MPA) * A / yield. 7nm = 1600 g/cm^2; 100 mm^2 = 1 cm^2.
+  const Mass m = die_manufacturing_carbon(100.0, ProcessNode::nm7, 0.875);
+  EXPECT_NEAR(m.to_grams(), 1600.0 / 0.875, 1e-9);
+}
+
+TEST(ProcessNode, YieldDividesCarbon) {
+  const Mass perfect = die_manufacturing_carbon(826, ProcessNode::nm7, 1.0);
+  const Mass act = die_manufacturing_carbon(826, ProcessNode::nm7);
+  EXPECT_NEAR(act.to_grams(), perfect.to_grams() / kDefaultYield, 1e-6);
+}
+
+TEST(ProcessNode, DefaultYieldMatchesPaper) {
+  EXPECT_DOUBLE_EQ(kDefaultYield, 0.875);
+}
+
+TEST(ProcessNode, RejectsInvalidInputs) {
+  EXPECT_THROW(die_manufacturing_carbon(0, ProcessNode::nm7), Error);
+  EXPECT_THROW(die_manufacturing_carbon(-5, ProcessNode::nm7), Error);
+  EXPECT_THROW(die_manufacturing_carbon(100, ProcessNode::nm7, 0.0), Error);
+  EXPECT_THROW(die_manufacturing_carbon(100, ProcessNode::nm7, 1.5), Error);
+}
+
+TEST(ProcessNode, Names) {
+  EXPECT_STREQ(to_string(ProcessNode::nm7), "7nm");
+  EXPECT_STREQ(to_string(ProcessNode::nm32), "32nm");
+}
+
+}  // namespace
+}  // namespace hpcarbon::embodied

@@ -1,0 +1,81 @@
+#include "embodied/report.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace hpcarbon::embodied {
+namespace {
+
+std::vector<BomLine> small_bom() {
+  return {{PartId::kA100Pcie40, 4},
+          {PartId::kEpyc7542, 4},
+          {PartId::kDram64GbDdr4, 8},
+          {PartId::kSsdNytro3530_3_2Tb, 1}};
+}
+
+TEST(RfpReport, ContainsEveryBomComponent) {
+  const std::string r = rfp_report(small_bom());
+  EXPECT_NE(r.find("NVIDIA A100"), std::string::npos);
+  EXPECT_NE(r.find("AMD EPYC 7542"), std::string::npos);
+  EXPECT_NE(r.find("DRAM 64GB"), std::string::npos);
+  EXPECT_NE(r.find("SSD 3.2TB"), std::string::npos);
+}
+
+TEST(RfpReport, ContainsModelConstants) {
+  const std::string r = rfp_report(small_bom());
+  EXPECT_NE(r.find("0.875"), std::string::npos);   // yield
+  EXPECT_NE(r.find("150"), std::string::npos);     // g/IC
+  EXPECT_NE(r.find("Eq. 2-5"), std::string::npos);
+}
+
+TEST(RfpReport, ClassRollupAndTotalPresent) {
+  const std::string r = rfp_report(small_bom());
+  EXPECT_NE(r.find("Class rollup"), std::string::npos);
+  EXPECT_NE(r.find("TOTAL"), std::string::npos);
+  EXPECT_NE(r.find("GPU"), std::string::npos);
+  EXPECT_NE(r.find("DRAM"), std::string::npos);
+  // No HDD in this BOM: the rollup must not list one.
+  EXPECT_EQ(r.find("| HDD"), std::string::npos);
+}
+
+TEST(RfpReport, UncertaintyColumnToggle) {
+  RfpReportOptions with;
+  with.include_uncertainty = true;
+  with.monte_carlo_samples = 256;
+  RfpReportOptions without;
+  without.include_uncertainty = false;
+  const std::string rw = rfp_report(small_bom(), with);
+  const std::string ro = rfp_report(small_bom(), without);
+  EXPECT_NE(rw.find("p05-p95"), std::string::npos);
+  EXPECT_EQ(ro.find("p05-p95"), std::string::npos);
+}
+
+TEST(RfpReport, DeterministicForSameOptions) {
+  RfpReportOptions opts;
+  opts.monte_carlo_samples = 512;
+  EXPECT_EQ(rfp_report(small_bom(), opts), rfp_report(small_bom(), opts));
+}
+
+TEST(RfpReport, DieDetailRendered) {
+  const std::string r = rfp_report({{PartId::kMi250x, 1}});
+  EXPECT_NE(r.find("2x 724 mm^2 @ 6nm"), std::string::npos);
+  EXPECT_NE(r.find("28 ICs"), std::string::npos);
+}
+
+TEST(RfpReport, CustomTitle) {
+  RfpReportOptions opts;
+  opts.title = "Design A annex";
+  opts.include_uncertainty = false;
+  EXPECT_NE(rfp_report(small_bom(), opts).find("Design A annex"),
+            std::string::npos);
+}
+
+TEST(RfpReport, Validation) {
+  EXPECT_THROW(rfp_report({}), Error);
+  EXPECT_THROW(rfp_report({{PartId::kA100Pcie40, 0}}), Error);
+  EXPECT_THROW(rfp_report({{PartId::kA100Pcie40, -3}}), Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::embodied

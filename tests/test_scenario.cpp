@@ -1,0 +1,110 @@
+#include "lifecycle/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace hpcarbon::lifecycle {
+namespace {
+
+using workload::Suite;
+
+UpgradeScenario v_to_a(Suite s = Suite::kNlp) {
+  UpgradeScenario sc;
+  sc.old_node = hw::v100_node();
+  sc.new_node = hw::a100_node();
+  sc.suite = s;
+  return sc;
+}
+
+TEST(Scenario, TrajectoryEvaluation) {
+  const GridTrajectory traj(CarbonIntensity::grams_per_kwh(400), 0.10);
+  EXPECT_DOUBLE_EQ(traj.at(0).to_g_per_kwh(), 400.0);
+  EXPECT_NEAR(traj.at(1).to_g_per_kwh(), 360.0, 1e-9);
+  EXPECT_NEAR(traj.at(2).to_g_per_kwh(), 324.0, 1e-9);
+  EXPECT_THROW(traj.at(-1), Error);
+}
+
+TEST(Scenario, ZeroDeclineIntegralIsLinear) {
+  const GridTrajectory flat(CarbonIntensity::grams_per_kwh(200), 0.0);
+  EXPECT_NEAR(flat.integral(0, 5), 1000.0, 1e-9);
+  EXPECT_NEAR(flat.integral(2, 3), 200.0, 1e-9);
+}
+
+TEST(Scenario, DecliningIntegralBelowLinear) {
+  const GridTrajectory traj(CarbonIntensity::grams_per_kwh(200), 0.08);
+  EXPECT_LT(traj.integral(0, 5), 1000.0);
+  EXPECT_GT(traj.integral(0, 5), 5 * traj.at(5).to_g_per_kwh());
+  EXPECT_THROW(traj.integral(3, 2), Error);
+}
+
+TEST(Scenario, IntegralMatchesNumericQuadrature) {
+  const GridTrajectory traj(CarbonIntensity::grams_per_kwh(350), 0.12);
+  double acc = 0;
+  const int steps = 100000;
+  const double dt = 5.0 / steps;
+  for (int i = 0; i < steps; ++i) {
+    acc += traj.at((i + 0.5) * dt).to_g_per_kwh() * dt;
+  }
+  EXPECT_NEAR(traj.integral(0, 5), acc, acc * 1e-6);
+}
+
+TEST(Scenario, FlatTrajectoryMatchesConstantIntensityModel) {
+  auto sc = v_to_a();
+  sc.intensity = CarbonIntensity::grams_per_kwh(200);
+  const GridTrajectory flat(CarbonIntensity::grams_per_kwh(200), 0.0);
+  for (double y : {0.5, 1.0, 3.0, 5.0}) {
+    EXPECT_NEAR(savings_percent(sc, flat, y), savings_percent(sc, y), 1e-9);
+  }
+  const auto be_flat = breakeven_years(sc, flat);
+  const auto be_const = breakeven_years(sc);
+  ASSERT_TRUE(be_flat && be_const);
+  EXPECT_NEAR(*be_flat, *be_const, 1e-6);
+}
+
+TEST(Scenario, DecarbonizationDelaysBreakeven) {
+  // Insight 8, forward version: a decarbonizing grid stretches the payoff.
+  auto sc = v_to_a();
+  const GridTrajectory flat(CarbonIntensity::grams_per_kwh(100), 0.0);
+  const GridTrajectory fast(CarbonIntensity::grams_per_kwh(100), 0.25);
+  const auto be_flat = breakeven_years(sc, flat);
+  const auto be_fast = breakeven_years(sc, fast);
+  ASSERT_TRUE(be_flat.has_value());
+  if (be_fast.has_value()) {
+    EXPECT_GT(*be_fast, *be_flat);
+  }
+  // And savings at any horizon are lower under decline.
+  for (double y : {1.0, 3.0, 5.0}) {
+    EXPECT_LT(savings_percent(sc, fast, y), savings_percent(sc, flat, y));
+  }
+}
+
+TEST(Scenario, AggressiveDecarbonizationKillsTheUpgrade) {
+  // On a grid racing to near-zero, the embodied tax can never be repaid.
+  auto sc = v_to_a(Suite::kNlp);
+  const GridTrajectory crash(CarbonIntensity::grams_per_kwh(30), 0.5);
+  EXPECT_FALSE(breakeven_years(sc, crash, 30.0).has_value());
+}
+
+TEST(Scenario, DowngradeNeverBreaksEvenUnderAnyTrajectory) {
+  UpgradeScenario sc;
+  sc.old_node = hw::a100_node();
+  sc.new_node = hw::p100_node();
+  const GridTrajectory traj(CarbonIntensity::grams_per_kwh(400), 0.05);
+  EXPECT_FALSE(breakeven_years(sc, traj).has_value());
+}
+
+TEST(Scenario, Validation) {
+  EXPECT_THROW(GridTrajectory(CarbonIntensity::grams_per_kwh(0), 0.1), Error);
+  EXPECT_THROW(GridTrajectory(CarbonIntensity::grams_per_kwh(100), 1.0),
+               Error);
+  EXPECT_THROW(GridTrajectory(CarbonIntensity::grams_per_kwh(100), -0.1),
+               Error);
+  auto sc = v_to_a();
+  const GridTrajectory traj(CarbonIntensity::grams_per_kwh(100), 0.1);
+  EXPECT_THROW(savings_percent(sc, traj, 0.0), Error);
+  EXPECT_THROW(breakeven_years(sc, traj, 0.0), Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::lifecycle

@@ -1,0 +1,151 @@
+// Property sweeps over all scheduler policies (TEST_P): regardless of
+// policy, the simulator must conserve work, account energy consistently,
+// stay deterministic, and never beat a clairvoyant lower bound.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/stats.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+#include "sched/simulator.h"
+#include "sched/workload_gen.h"
+
+namespace hpcarbon::sched {
+namespace {
+
+class PolicySweep : public ::testing::TestWithParam<Policy> {
+ protected:
+  static void SetUpTestSuite() {
+    // Generous capacity: even Poisson bursts never exhaust a site, so
+    // policy behaviour (not queueing) is what every property observes.
+    const auto traces = grid::generate_traces(grid::fig7_regions());
+    sites_ = new std::vector<Site>{make_site("ERCOT", traces[2], 64),
+                                   make_site("ESO", traces[0], 64),
+                                   make_site("CISO", traces[1], 64)};
+    WorkloadParams wp;
+    wp.horizon_hours = 24 * 10;
+    // Offered load ~8.4 concurrent vs 12 home slots: queueing never binds,
+    // so the delay-budget property below is exact.
+    wp.arrival_rate_per_hour = 1.5;
+    wp.seed = 4242;
+    jobs_ = new std::vector<Job>(generate_jobs(wp));
+  }
+  static void TearDownTestSuite() {
+    delete sites_;
+    delete jobs_;
+    sites_ = nullptr;
+    jobs_ = nullptr;
+  }
+  static PolicyConfig config(Policy p) {
+    PolicyConfig cfg;
+    cfg.policy = p;
+    cfg.ci_threshold_g_per_kwh = 320;
+    cfg.max_delay_hours = 12;
+    cfg.user_budget = Mass::kilograms(100);
+    return cfg;
+  }
+  static std::vector<Site>* sites_;
+  static std::vector<Job>* jobs_;
+};
+
+std::vector<Site>* PolicySweep::sites_ = nullptr;
+std::vector<Job>* PolicySweep::jobs_ = nullptr;
+
+TEST_P(PolicySweep, CompletesEveryJobExactlyOnce) {
+  SchedulerSimulator sim(*sites_, HourOfYear(month_start_hour(5)));
+  std::vector<JobOutcome> outcomes;
+  const auto m = sim.run(*jobs_, config(GetParam()), &outcomes, nullptr);
+  EXPECT_EQ(m.jobs_completed, static_cast<int>(jobs_->size()));
+  ASSERT_EQ(outcomes.size(), jobs_->size());
+  std::vector<int> ids;
+  for (const auto& o : outcomes) ids.push_back(o.job_id);
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(ids[i], static_cast<int>(i));
+  }
+}
+
+TEST_P(PolicySweep, EnergyAtLeastItDemandTimesPue) {
+  SchedulerSimulator sim(*sites_, HourOfYear(month_start_hour(5)));
+  const auto m = sim.run(*jobs_, config(GetParam()));
+  double it_kwh = 0;
+  for (const auto& j : *jobs_) {
+    it_kwh += j.it_power.to_kilowatts() * j.duration_hours;
+  }
+  EXPECT_GE(m.total_energy.to_kwh(), it_kwh * 1.2 - 1e-6);
+}
+
+TEST_P(PolicySweep, NoJobStartsBeforeSubmission) {
+  SchedulerSimulator sim(*sites_, HourOfYear(month_start_hour(5)));
+  std::vector<JobOutcome> outcomes;
+  sim.run(*jobs_, config(GetParam()), &outcomes, nullptr);
+  for (const auto& o : outcomes) {
+    EXPECT_GE(o.wait_hours, -1e-9) << "job " << o.job_id;
+  }
+}
+
+TEST_P(PolicySweep, DelayPoliciesRespectTheDelayBudget) {
+  const Policy p = GetParam();
+  if (p != Policy::kThresholdDelay && p != Policy::kForecastDelay) {
+    GTEST_SKIP();
+  }
+  SchedulerSimulator sim(*sites_, HourOfYear(month_start_hour(5)));
+  std::vector<JobOutcome> outcomes;
+  auto cfg = config(p);
+  sim.run(*jobs_, cfg, &outcomes, nullptr);
+  for (const auto& o : outcomes) {
+    // Delay budget + at most one dispatch tick of slack (capacity is never
+    // binding at this load).
+    EXPECT_LE(o.wait_hours, cfg.max_delay_hours + 1.5) << "job " << o.job_id;
+  }
+}
+
+TEST_P(PolicySweep, DeterministicAcrossRuns) {
+  SchedulerSimulator sim(*sites_, HourOfYear(month_start_hour(5)));
+  const auto a = sim.run(*jobs_, config(GetParam()));
+  const auto b = sim.run(*jobs_, config(GetParam()));
+  EXPECT_DOUBLE_EQ(a.total_carbon.to_grams(), b.total_carbon.to_grams());
+  EXPECT_DOUBLE_EQ(a.mean_wait_hours, b.mean_wait_hours);
+  EXPECT_EQ(a.remote_dispatches, b.remote_dispatches);
+}
+
+TEST_P(PolicySweep, NeverBeatsClairvoyantLowerBound) {
+  // Lower bound: every job runs at the year-minimum intensity across all
+  // sites, with no transfer cost.
+  SchedulerSimulator sim(*sites_, HourOfYear(month_start_hour(5)));
+  const auto m = sim.run(*jobs_, config(GetParam()));
+  double min_ci = 1e18;
+  for (const auto& s : *sites_) {
+    min_ci = std::min(min_ci, hpcarbon::stats::min(s.trace_utc.values()));
+  }
+  double bound_g = 0;
+  for (const auto& j : *jobs_) {
+    bound_g += j.it_power.to_kilowatts() * j.duration_hours * 1.2 * min_ci;
+  }
+  EXPECT_GE(m.total_carbon.to_grams(), bound_g);
+}
+
+TEST_P(PolicySweep, PerJobCarbonSumsToTotal) {
+  SchedulerSimulator sim(*sites_, HourOfYear(month_start_hour(5)));
+  std::vector<JobOutcome> outcomes;
+  const auto m = sim.run(*jobs_, config(GetParam()), &outcomes, nullptr);
+  double sum = 0;
+  for (const auto& o : outcomes) sum += o.carbon.to_grams();
+  EXPECT_NEAR(sum, m.total_carbon.to_grams(),
+              1e-6 * m.total_carbon.to_grams());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicySweep,
+    ::testing::Values(Policy::kFcfsLocal, Policy::kGreedyLowestCi,
+                      Policy::kThresholdDelay, Policy::kBudgetAware,
+                      Policy::kForecastDelay, Policy::kNetBenefit),
+    [](const ::testing::TestParamInfo<Policy>& param_info) {
+      std::string name = to_string(param_info.param);
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+}  // namespace
+}  // namespace hpcarbon::sched

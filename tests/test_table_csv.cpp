@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/csv.h"
+#include "core/error.h"
+#include "core/table.h"
+
+namespace hpcarbon {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"part", "kg"});
+  t.add_row({"A100", "18.10"});
+  t.add_row({"V100", "13.43"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("part"), std::string::npos);
+  EXPECT_NE(s.find("A100"), std::string::npos);
+  EXPECT_NE(s.find("18.10"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);  // separator
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsMismatchedRowWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(12.345, 1), "+12.3%");
+  EXPECT_EQ(TextTable::pct(-4.0, 1), "-4.0%");
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, EmptyTable) { EXPECT_EQ(TextTable().to_string(), ""); }
+
+TEST(Banner, ContainsTitle) {
+  const std::string b = banner("Figure 1");
+  EXPECT_NE(b.find("Figure 1"), std::string::npos);
+  EXPECT_NE(b.find("=="), std::string::npos);
+}
+
+TEST(Bar, ScalesWithValue) {
+  EXPECT_EQ(bar(10, 10, 10), "##########");
+  EXPECT_EQ(bar(5, 10, 10), "#####");
+  EXPECT_EQ(bar(0, 10, 10), "");
+  EXPECT_EQ(bar(20, 10, 10), "##########");  // clamped
+  EXPECT_EQ(bar(5, 0, 10), "");              // degenerate max
+}
+
+TEST(Csv, ParsesHeaderAndRows) {
+  const auto data = parse_csv("hour,ci\n0,412.5\n1,390\n");
+  ASSERT_EQ(data.header.size(), 2u);
+  EXPECT_EQ(data.header[0], "hour");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[0][1], 412.5);
+  EXPECT_DOUBLE_EQ(data.rows[1][0], 1.0);
+}
+
+TEST(Csv, ParsesHeaderlessNumericData) {
+  const auto data = parse_csv("1,2\n3,4\n");
+  EXPECT_TRUE(data.header.empty());
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[1][1], 4.0);
+}
+
+TEST(Csv, RejectsRaggedAndNonNumericRows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2\n3\n"), Error);
+  EXPECT_THROW(parse_csv("a,b\n1,oops\n"), Error);
+}
+
+TEST(Csv, SkipsBlankLinesAndCarriageReturns) {
+  const auto data = parse_csv("x\r\n1\r\n\r\n2\r\n");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[1][0], 2.0);
+}
+
+TEST(Csv, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/hpcarbon_csv_test.csv";
+  write_file(path, "a,b\n1,2\n");
+  EXPECT_EQ(read_file(path), "a,b\n1,2\n");
+  EXPECT_THROW(read_file("/nonexistent/dir/file.csv"), Error);
+}
+
+TEST(Csv, ColumnSerialisation) {
+  EXPECT_EQ(to_csv_column("v", {1.5, 2.5}), "v\n1.5\n2.5\n");
+}
+
+}  // namespace
+}  // namespace hpcarbon

@@ -1,0 +1,76 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace hpcarbon {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 50; ++i) {
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<int> hits(1000, 0);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 1000);
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  pool.parallel_for(7, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(0, 10, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [](std::size_t i) {
+                          if (i == 42) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, GlobalPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::global().parallel_for(0, 10,
+                                    [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(ThreadPool, ManyMoreTasksThanThreads) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(0, 10000, [&](std::size_t i) {
+    sum += static_cast<long>(i);
+  });
+  EXPECT_EQ(sum.load(), 10000L * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace hpcarbon

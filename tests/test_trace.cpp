@@ -1,0 +1,97 @@
+#include "grid/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/error.h"
+
+namespace hpcarbon::grid {
+namespace {
+
+std::vector<double> ramp_values() {
+  std::vector<double> v(kHoursPerYear);
+  std::iota(v.begin(), v.end(), 0.0);
+  return v;
+}
+
+TEST(Trace, RequiresFullYear) {
+  EXPECT_THROW(CarbonIntensityTrace("X", kUtc, {1.0, 2.0}), Error);
+  EXPECT_NO_THROW(CarbonIntensityTrace("X", kUtc, ramp_values()));
+}
+
+TEST(Trace, RejectsNegativeOrNonFinite) {
+  auto v = ramp_values();
+  v[100] = -1.0;
+  EXPECT_THROW(CarbonIntensityTrace("X", kUtc, v), Error);
+  v[100] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(CarbonIntensityTrace("X", kUtc, v), Error);
+}
+
+TEST(Trace, AtLocalHour) {
+  const CarbonIntensityTrace t("X", kUtc, ramp_values());
+  EXPECT_DOUBLE_EQ(t.at(HourOfYear(0)).to_g_per_kwh(), 0.0);
+  EXPECT_DOUBLE_EQ(t.at(HourOfYear(4242)).to_g_per_kwh(), 4242.0);
+}
+
+TEST(Trace, AtWithZoneConversion) {
+  const CarbonIntensityTrace t("JP", kJst, ramp_values());
+  // UTC hour 0 == JST hour 9.
+  EXPECT_DOUBLE_EQ(t.at(HourOfYear(0), kUtc).to_g_per_kwh(), 9.0);
+}
+
+TEST(Trace, ToTimeZonePreservesInstants) {
+  const CarbonIntensityTrace pst("CISO", kPst, ramp_values());
+  const CarbonIntensityTrace jst = pst.to_time_zone(kJst);
+  EXPECT_EQ(jst.time_zone().utc_offset_hours(), 9);
+  // Any instant must read the same through either representation.
+  for (int h : {0, 17, 100, 8000, kHoursPerYear - 1}) {
+    EXPECT_DOUBLE_EQ(jst.at(HourOfYear(h)).to_g_per_kwh(),
+                     pst.at(HourOfYear(h), kJst).to_g_per_kwh());
+  }
+}
+
+TEST(Trace, ToSameZoneIsIdentity) {
+  const CarbonIntensityTrace t("X", kGmt, ramp_values());
+  const auto u = t.to_time_zone(kGmt);
+  EXPECT_EQ(u.values(), t.values());
+}
+
+TEST(Trace, MeanOverWindow) {
+  const CarbonIntensityTrace t("X", kUtc, ramp_values());
+  // Hours 10,11,12 -> mean 11.
+  EXPECT_NEAR(t.mean_over(HourOfYear(10), Hours::hours(3)).to_g_per_kwh(),
+              11.0, 1e-9);
+  // Fractional duration: 10 full + half of 11 -> (10 + 0.5*11)/1.5.
+  EXPECT_NEAR(t.mean_over(HourOfYear(10), Hours::hours(1.5)).to_g_per_kwh(),
+              (10.0 + 0.5 * 11.0) / 1.5, 1e-9);
+  EXPECT_THROW(t.mean_over(HourOfYear(0), Hours::hours(0)), Error);
+}
+
+TEST(Trace, MeanOverWrapsYearBoundary) {
+  const CarbonIntensityTrace t("X", kUtc, ramp_values());
+  const double expected = (8759.0 + 0.0) / 2.0;
+  EXPECT_NEAR(
+      t.mean_over(HourOfYear(kHoursPerYear - 1), Hours::hours(2)).to_g_per_kwh(),
+      expected, 1e-9);
+}
+
+TEST(Trace, HourOfDaySlice) {
+  const CarbonIntensityTrace t("X", kUtc, ramp_values());
+  const auto slice = t.hour_of_day_slice(5);
+  ASSERT_EQ(slice.size(), static_cast<size_t>(kDaysPerYear));
+  EXPECT_DOUBLE_EQ(slice[0], 5.0);
+  EXPECT_DOUBLE_EQ(slice[1], 29.0);
+  EXPECT_THROW(t.hour_of_day_slice(24), Error);
+  EXPECT_THROW(t.hour_of_day_slice(-1), Error);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const CarbonIntensityTrace t("X", kUtc, ramp_values());
+  const auto back = CarbonIntensityTrace::from_csv("X", kUtc, t.to_csv());
+  EXPECT_EQ(back.values(), t.values());
+}
+
+}  // namespace
+}  // namespace hpcarbon::grid

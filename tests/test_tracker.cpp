@@ -1,0 +1,113 @@
+#include "op/tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "hw/perf.h"
+#include "op/operational.h"
+
+namespace hpcarbon::op {
+namespace {
+
+grid::CarbonIntensityTrace constant_trace(double v) {
+  return grid::CarbonIntensityTrace(
+      "X", kUtc, std::vector<double>(kHoursPerYear, v));
+}
+
+TEST(Tracker, ConstantJobMatchesEq6) {
+  const auto trace = constant_trace(200.0);
+  TrackerOptions opts;
+  opts.sample_interval = Hours::seconds(60);
+  opts.pue = PueModel(1.2);
+  Tracker tracker(trace, HourOfYear(0), opts);
+  const auto report = tracker.track(
+      "constant", [](Hours) { return Power::kilowatts(1.5); },
+      Hours::hours(2));
+  EXPECT_NEAR(report.it_energy.to_kwh(), 3.0, 1e-6);
+  EXPECT_NEAR(report.facility_energy.to_kwh(), 3.6, 1e-6);
+  EXPECT_NEAR(report.carbon.to_grams(), 3.6 * 200.0, 1e-3);
+  EXPECT_NEAR(report.average_intensity.to_g_per_kwh(), 200.0, 1e-6);
+  EXPECT_NEAR(report.average_power.to_kilowatts(), 1.5, 1e-6);
+  EXPECT_EQ(report.job_name, "constant");
+}
+
+TEST(Tracker, PricesEnergyAtHourOfConsumption) {
+  std::vector<double> v(kHoursPerYear, 100.0);
+  v[1] = 400.0;
+  const grid::CarbonIntensityTrace trace("X", kUtc, v);
+  TrackerOptions opts;
+  opts.sample_interval = Hours::minutes(6);
+  opts.pue = PueModel(1.0);
+  Tracker tracker(trace, HourOfYear(0), opts);
+  const auto report = tracker.track(
+      "two-hours", [](Hours) { return Power::kilowatts(1.0); },
+      Hours::hours(2));
+  // 1 kWh at 100 + 1 kWh at 400.
+  EXPECT_NEAR(report.carbon.to_grams(), 500.0, 1.0);
+}
+
+TEST(Tracker, MatchesOperationalIntegration) {
+  // The streaming tracker and the closed-form hourly integration must agree
+  // for constant power.
+  const auto trace = constant_trace(350.0);
+  const Power p = Power::kilowatts(2.0);
+  const Hours d = Hours::hours(5);
+  TrackerOptions opts;
+  opts.sample_interval = Hours::minutes(1);
+  Tracker tracker(trace, HourOfYear(100), opts);
+  const auto report = tracker.track("x", [p](Hours) { return p; }, d);
+  const Mass direct =
+      operational_carbon(p, trace, HourOfYear(100), d, opts.pue);
+  EXPECT_NEAR(report.carbon.to_grams(), direct.to_grams(),
+              direct.to_grams() * 1e-3);
+}
+
+TEST(Tracker, TrainingRunUsesPerfAndPowerModels) {
+  const auto trace = constant_trace(250.0);
+  Tracker tracker(trace, HourOfYear(0));
+  const auto node = hw::v100_node();
+  const auto& bert = workload::model_by_name("BERT");
+  const double samples = hw::throughput(bert, node) * 3600.0;  // 1 h of work
+  const auto report = tracker.track_training(node, bert, samples);
+  EXPECT_NEAR(report.duration.count(), 1.0, 1e-6);
+  EXPECT_NEAR(report.average_power.to_watts(),
+              hw::node_training_power(node, bert).to_watts(), 1.0);
+  EXPECT_NE(report.job_name.find("BERT"), std::string::npos);
+  EXPECT_NE(report.job_name.find("V100"), std::string::npos);
+}
+
+TEST(Tracker, GreenerRegionYieldsLessCarbonForSameJob) {
+  const auto dirty = constant_trace(500.0);
+  const auto clean = constant_trace(50.0);
+  const auto node = hw::a100_node();
+  const auto& vit = workload::model_by_name("ViT");
+  const double samples = 1e6;
+  Tracker td(dirty, HourOfYear(0)), tc(clean, HourOfYear(0));
+  const auto rd = td.track_training(node, vit, samples);
+  const auto rc = tc.track_training(node, vit, samples);
+  EXPECT_NEAR(rd.carbon.to_grams() / rc.carbon.to_grams(), 10.0, 0.1);
+  EXPECT_NEAR(rd.it_energy.to_kwh(), rc.it_energy.to_kwh(), 1e-9);
+}
+
+TEST(Tracker, ReportToStringContainsFields) {
+  const auto trace = constant_trace(100.0);
+  Tracker tracker(trace, HourOfYear(0));
+  const auto report = tracker.track(
+      "fmt", [](Hours) { return Power::watts(500); }, Hours::hours(1));
+  const std::string s = report.to_string();
+  EXPECT_NE(s.find("fmt"), std::string::npos);
+  EXPECT_NE(s.find("operational CO2"), std::string::npos);
+  EXPECT_NE(s.find("avg CI"), std::string::npos);
+}
+
+TEST(Tracker, RejectsNonPositiveDuration) {
+  const auto trace = constant_trace(100.0);
+  Tracker tracker(trace, HourOfYear(0));
+  EXPECT_THROW(
+      tracker.track("bad", [](Hours) { return Power::watts(1); },
+                    Hours::hours(0)),
+      Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::op

@@ -1,0 +1,91 @@
+#include "embodied/uncertainty.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "embodied/catalog.h"
+#include "embodied/models.h"
+
+namespace hpcarbon::embodied {
+namespace {
+
+TEST(Uncertainty, MeanTracksPointEstimateProcessor) {
+  const auto& part = processor(PartId::kA100Pcie40);
+  const auto r = propagate(part, UncertaintyBands{}, 4096, 1);
+  const double point = embodied(part).total().to_grams();
+  // Symmetric input bands keep the mean near the deterministic value
+  // (yield division introduces slight positive skew).
+  EXPECT_NEAR(r.mean.to_grams() / point, 1.0, 0.02);
+  EXPECT_GT(r.stddev.to_grams(), 0.0);
+}
+
+TEST(Uncertainty, MeanTracksPointEstimateMemory) {
+  const auto& part = memory(PartId::kDram64GbDdr4);
+  const auto r = propagate(part, UncertaintyBands{}, 4096, 1);
+  const double point = embodied(part).total().to_grams();
+  EXPECT_NEAR(r.mean.to_grams() / point, 1.0, 0.02);
+}
+
+TEST(Uncertainty, QuantilesAreOrdered) {
+  const auto r =
+      propagate(processor(PartId::kMi250x), UncertaintyBands{}, 2048, 7);
+  EXPECT_LT(r.p05.to_grams(), r.p50.to_grams());
+  EXPECT_LT(r.p50.to_grams(), r.p95.to_grams());
+  EXPECT_EQ(r.samples, 2048);
+}
+
+TEST(Uncertainty, ZeroBandsCollapseToPoint) {
+  UncertaintyBands none;
+  none.fab_per_area = 0;
+  none.yield = 0;
+  none.epc = 0;
+  none.packaging = 0;
+  const auto& part = processor(PartId::kV100Sxm2_32);
+  const auto r = propagate(part, none, 256, 3);
+  const double point = embodied(part).total().to_grams();
+  EXPECT_NEAR(r.mean.to_grams(), point, 1e-6);
+  EXPECT_NEAR(r.stddev.to_grams(), 0.0, 1e-6);
+}
+
+TEST(Uncertainty, DeterministicForSeed) {
+  const auto& part = memory(PartId::kSsdNytro3530_3_2Tb);
+  const auto a = propagate(part, UncertaintyBands{}, 1024, 99);
+  const auto b = propagate(part, UncertaintyBands{}, 1024, 99);
+  EXPECT_DOUBLE_EQ(a.mean.to_grams(), b.mean.to_grams());
+  EXPECT_DOUBLE_EQ(a.p95.to_grams(), b.p95.to_grams());
+}
+
+TEST(Uncertainty, WiderBandsWidenDistribution) {
+  UncertaintyBands narrow;
+  narrow.fab_per_area = 0.05;
+  narrow.packaging = 0.05;
+  UncertaintyBands wide;
+  wide.fab_per_area = 0.40;
+  wide.packaging = 0.40;
+  const auto& part = processor(PartId::kEpyc7763);
+  const auto n = propagate(part, narrow, 4096, 5);
+  const auto w = propagate(part, wide, 4096, 5);
+  EXPECT_GT(w.stddev.to_grams(), n.stddev.to_grams() * 2.0);
+}
+
+TEST(Uncertainty, LargerEpcBandWidensStorage) {
+  UncertaintyBands narrow;
+  narrow.epc = 0.02;
+  UncertaintyBands wide;
+  wide.epc = 0.30;
+  const auto& part = memory(PartId::kHddExosX16_16Tb);
+  EXPECT_GT(propagate(part, wide, 2048, 6).stddev.to_grams(),
+            propagate(part, narrow, 2048, 6).stddev.to_grams() * 2.0);
+}
+
+TEST(Uncertainty, RejectsNonPositiveSamples) {
+  EXPECT_THROW(
+      propagate(processor(PartId::kA100Pcie40), UncertaintyBands{}, 0),
+      Error);
+  EXPECT_THROW(
+      propagate(memory(PartId::kDram64GbDdr4), UncertaintyBands{}, -4),
+      Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::embodied

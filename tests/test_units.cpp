@@ -1,0 +1,108 @@
+#include "core/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hpcarbon {
+namespace {
+
+TEST(Units, PowerConversions) {
+  const Power p = Power::kilowatts(1.5);
+  EXPECT_DOUBLE_EQ(p.to_watts(), 1500.0);
+  EXPECT_DOUBLE_EQ(p.to_kilowatts(), 1.5);
+  EXPECT_DOUBLE_EQ(p.to_megawatts(), 0.0015);
+  EXPECT_DOUBLE_EQ(Power::megawatts(29).to_watts(), 29e6);
+}
+
+TEST(Units, EnergyConversions) {
+  const Energy e = Energy::kilowatt_hours(2.0);
+  EXPECT_DOUBLE_EQ(e.to_joules(), 2.0 * 3.6e6);
+  EXPECT_DOUBLE_EQ(Energy::joules(3.6e6).to_kwh(), 1.0);
+  EXPECT_DOUBLE_EQ(Energy::megawatt_hours(1).to_kwh(), 1000.0);
+  EXPECT_DOUBLE_EQ(Energy::watt_hours(500).to_kwh(), 0.5);
+}
+
+TEST(Units, MassConversions) {
+  EXPECT_DOUBLE_EQ(Mass::kilograms(2.5).to_grams(), 2500.0);
+  EXPECT_DOUBLE_EQ(Mass::tonnes(1).to_kilograms(), 1000.0);
+  EXPECT_DOUBLE_EQ(Mass::grams(1e6).to_tonnes(), 1.0);
+}
+
+TEST(Units, HoursConversions) {
+  EXPECT_DOUBLE_EQ(Hours::days(2).count(), 48.0);
+  EXPECT_DOUBLE_EQ(Hours::years(1).count(), 8760.0);
+  EXPECT_DOUBLE_EQ(Hours::minutes(90).count(), 1.5);
+  EXPECT_DOUBLE_EQ(Hours::seconds(7200).count(), 2.0);
+  EXPECT_DOUBLE_EQ(Hours::hours(12).to_days(), 0.5);
+  EXPECT_DOUBLE_EQ(Hours::years(2).to_years(), 2.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  // 250 W for 4 hours = 1 kWh.
+  const Energy e = Power::watts(250) * Hours::hours(4);
+  EXPECT_DOUBLE_EQ(e.to_kwh(), 1.0);
+  // Commutative.
+  EXPECT_DOUBLE_EQ((Hours::hours(4) * Power::watts(250)).to_kwh(), 1.0);
+}
+
+TEST(Units, EnergyDividedByTimeIsPower) {
+  const Power p = Energy::kilowatt_hours(10) / Hours::hours(5);
+  EXPECT_DOUBLE_EQ(p.to_kilowatts(), 2.0);
+}
+
+TEST(Units, Eq6IntensityTimesEnergyIsMass) {
+  // Eq. 6: 400 gCO2/kWh * 2.5 kWh = 1 kg.
+  const Mass m = CarbonIntensity::grams_per_kwh(400) *
+                 Energy::kilowatt_hours(2.5);
+  EXPECT_DOUBLE_EQ(m.to_kilograms(), 1.0);
+}
+
+TEST(Units, MassOverEnergyIsIntensity) {
+  const CarbonIntensity i =
+      Mass::kilograms(1) / Energy::kilowatt_hours(2.5);
+  EXPECT_DOUBLE_EQ(i.to_g_per_kwh(), 400.0);
+}
+
+TEST(Units, ArithmeticAndComparisons) {
+  Mass a = Mass::grams(100), b = Mass::grams(50);
+  EXPECT_EQ((a + b).to_grams(), 150.0);
+  EXPECT_EQ((a - b).to_grams(), 50.0);
+  EXPECT_EQ((a * 2.0).to_grams(), 200.0);
+  EXPECT_EQ((2.0 * a).to_grams(), 200.0);
+  EXPECT_EQ((a / 4.0).to_grams(), 25.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.0);  // dimensionless ratio
+  EXPECT_LT(b, a);
+  EXPECT_GT(a, b);
+  EXPECT_EQ(a, Mass::kilograms(0.1));
+  a += b;
+  EXPECT_EQ(a.to_grams(), 150.0);
+  a -= b;
+  EXPECT_EQ(a.to_grams(), 100.0);
+  a *= 3.0;
+  EXPECT_EQ(a.to_grams(), 300.0);
+  EXPECT_EQ((-b).to_grams(), -50.0);
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_EQ(Power().to_watts(), 0.0);
+  EXPECT_EQ(Energy().to_kwh(), 0.0);
+  EXPECT_EQ(Mass().to_grams(), 0.0);
+  EXPECT_EQ(Hours().count(), 0.0);
+  EXPECT_EQ(CarbonIntensity().to_g_per_kwh(), 0.0);
+}
+
+TEST(Units, FormattingPicksReadableScale) {
+  EXPECT_NE(to_string(Mass::grams(500)).find("gCO2e"), std::string::npos);
+  EXPECT_NE(to_string(Mass::kilograms(12)).find("kgCO2e"), std::string::npos);
+  EXPECT_NE(to_string(Mass::tonnes(3)).find("tCO2e"), std::string::npos);
+  EXPECT_NE(to_string(Power::watts(250)).find("W"), std::string::npos);
+  EXPECT_NE(to_string(Power::megawatts(29)).find("MW"), std::string::npos);
+  EXPECT_NE(to_string(Energy::kilowatt_hours(5)).find("kWh"),
+            std::string::npos);
+  EXPECT_NE(to_string(Energy::megawatt_hours(2)).find("MWh"),
+            std::string::npos);
+  EXPECT_NE(to_string(CarbonIntensity::grams_per_kwh(412)).find("gCO2/kWh"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace hpcarbon

@@ -1,0 +1,206 @@
+// Upgrade-analysis tests: RQ 7 (Fig. 8) and RQ 8 (Fig. 9).
+#include "lifecycle/upgrade.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace hpcarbon::lifecycle {
+namespace {
+
+using hw::a100_node;
+using hw::p100_node;
+using hw::v100_node;
+using workload::Suite;
+
+UpgradeScenario scenario(const hw::NodeConfig& from, const hw::NodeConfig& to,
+                         Suite suite, double ci, double usage = 0.4) {
+  UpgradeScenario s;
+  s.old_node = from;
+  s.new_node = to;
+  s.suite = suite;
+  s.intensity = CarbonIntensity::grams_per_kwh(ci);
+  s.usage = UsageProfile{usage};
+  return s;
+}
+
+TEST(Upgrade, UsageTiersMatchPaper) {
+  // Medium 40% from production traces; high/low at 1.5x more/less.
+  EXPECT_DOUBLE_EQ(UsageProfile::medium().gpu_usage, 0.40);
+  EXPECT_DOUBLE_EQ(UsageProfile::high().gpu_usage, 0.60);
+  EXPECT_NEAR(UsageProfile::low().gpu_usage, 0.2667, 1e-3);
+}
+
+TEST(Upgrade, NewNodeUsesLessAnnualEnergyForSameWork) {
+  for (Suite s : workload::all_suites()) {
+    const auto sc = scenario(p100_node(), a100_node(), s, 200);
+    EXPECT_LT(annual_energy_upgrade(sc).to_kwh(),
+              annual_energy_keep(sc).to_kwh())
+        << workload::to_string(s);
+  }
+}
+
+TEST(Upgrade, SavingsStartNegative) {
+  // "all curves start from a negative point because an upgrade immediately
+  //  incurs embodied carbon cost".
+  for (Suite s : workload::all_suites()) {
+    const auto sc = scenario(p100_node(), v100_node(), s, 200);
+    EXPECT_LT(savings_percent(sc, 0.05), 0.0);
+  }
+}
+
+TEST(Upgrade, SavingsMonotonicallyIncreaseOverTime) {
+  const auto sc = scenario(v100_node(), a100_node(), Suite::kVision, 200);
+  double prev = savings_percent(sc, 0.1);
+  for (double y : {0.5, 1.0, 2.0, 3.0, 5.0}) {
+    const double cur = savings_percent(sc, y);
+    EXPECT_GT(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Upgrade, Fig8BreakevenUnderHalfYearAtHighIntensity) {
+  // "at high carbon intensity, it takes less than half a year to amortize".
+  for (Suite s : workload::all_suites()) {
+    for (const auto& to : {v100_node(), a100_node()}) {
+      const auto sc = scenario(p100_node(), to, s, 400);
+      const auto be = breakeven_years(sc);
+      ASSERT_TRUE(be.has_value());
+      EXPECT_LT(*be, 0.5) << workload::to_string(s) << " -> " << to.name;
+    }
+  }
+}
+
+TEST(Upgrade, Fig8BreakevenUnderOneYearAtMediumIntensity) {
+  // "at medium carbon intensity, it takes less than a year".
+  for (Suite s : workload::all_suites()) {
+    for (const auto& [from, to] :
+         {std::pair{p100_node(), v100_node()},
+          std::pair{p100_node(), a100_node()},
+          std::pair{v100_node(), a100_node()}}) {
+      const auto be = breakeven_years(scenario(from, to, s, 200));
+      ASSERT_TRUE(be.has_value());
+      EXPECT_LT(*be, 1.0) << workload::to_string(s);
+    }
+  }
+}
+
+TEST(Upgrade, Fig8BreakevenAboutFiveYearsAtLowIntensity) {
+  // "at low carbon intensity … the amortization time is about five years
+  //  or more" (20 g/kWh hydropower).
+  for (Suite s : workload::all_suites()) {
+    const auto be = breakeven_years(scenario(p100_node(), v100_node(), s, 20));
+    ASSERT_TRUE(be.has_value());
+    EXPECT_GT(*be, 2.5) << workload::to_string(s);
+    EXPECT_LT(*be, 8.0) << workload::to_string(s);
+  }
+  // V100 -> A100 on NLP is the slowest payoff: beyond five years.
+  const auto be =
+      breakeven_years(scenario(v100_node(), a100_node(), Suite::kNlp, 20));
+  ASSERT_TRUE(be.has_value());
+  EXPECT_GT(*be, 5.0);
+}
+
+TEST(Upgrade, BreakevenScalesInverselyWithIntensity) {
+  const auto hi = breakeven_years(
+      scenario(p100_node(), a100_node(), Suite::kVision, 400));
+  const auto lo = breakeven_years(
+      scenario(p100_node(), a100_node(), Suite::kVision, 20));
+  ASSERT_TRUE(hi.has_value() && lo.has_value());
+  EXPECT_NEAR(*lo / *hi, 20.0, 1e-6);  // 400/20 ratio
+}
+
+TEST(Upgrade, NlpGainsLeastFromVoltaToAmpere) {
+  // Table 6 / Fig. 8: NLP receives the least V100->A100 improvement, so
+  // its savings curve sits below Vision and CANDLE.
+  const double nlp = savings_percent(
+      scenario(v100_node(), a100_node(), Suite::kNlp, 200), 3.0);
+  const double vision = savings_percent(
+      scenario(v100_node(), a100_node(), Suite::kVision, 200), 3.0);
+  const double candle = savings_percent(
+      scenario(v100_node(), a100_node(), Suite::kCandle, 200), 3.0);
+  EXPECT_LT(nlp, vision);
+  EXPECT_LT(vision, candle);
+}
+
+TEST(Upgrade, Fig9LowUsageJustBreaksEvenAtOneYear) {
+  // "after one year, a high/medium usage pattern would result in carbon
+  //  reduction, whereas the low usage pattern has just paid off the initial
+  //  embodied carbon" (V100 -> A100, NLP, 200 g/kWh).
+  const double low = savings_percent(
+      scenario(v100_node(), a100_node(), Suite::kNlp, 200, 0.4 / 1.5), 1.0);
+  const double med = savings_percent(
+      scenario(v100_node(), a100_node(), Suite::kNlp, 200, 0.4), 1.0);
+  const double high = savings_percent(
+      scenario(v100_node(), a100_node(), Suite::kNlp, 200, 0.6), 1.0);
+  EXPECT_NEAR(low, 0.0, 4.0);  // just paid off
+  EXPECT_GT(med, low);
+  EXPECT_GT(high, med);
+  EXPECT_GT(med, 3.0);
+  EXPECT_GT(high, 8.0);
+}
+
+TEST(Upgrade, HigherUsageAmortizesFaster) {
+  // Insight 9: high GPU utilization -> quicker upgrade payoff.
+  const auto hi = breakeven_years(
+      scenario(p100_node(), a100_node(), Suite::kCandle, 200, 0.6));
+  const auto lo = breakeven_years(
+      scenario(p100_node(), a100_node(), Suite::kCandle, 200, 0.4 / 1.5));
+  ASSERT_TRUE(hi.has_value() && lo.has_value());
+  EXPECT_LT(*hi, *lo);
+}
+
+TEST(Upgrade, UsageMattersLessThanIntensity) {
+  // "The difference is not as significant as the carbon intensity, where it
+  //  can be multiple years of difference."
+  const auto sc = [&](double ci, double usage) {
+    return *breakeven_years(
+        scenario(v100_node(), a100_node(), Suite::kVision, ci, usage));
+  };
+  const double usage_spread = sc(200, 0.4 / 1.5) - sc(200, 0.6);
+  const double intensity_spread = sc(20, 0.4) - sc(400, 0.4);
+  EXPECT_GT(intensity_spread, usage_spread * 3.0);
+}
+
+TEST(Upgrade, AsymptoteIndependentOfIntensity) {
+  const double a400 = asymptotic_savings_percent(
+      scenario(p100_node(), a100_node(), Suite::kNlp, 400));
+  const double a20 = asymptotic_savings_percent(
+      scenario(p100_node(), a100_node(), Suite::kNlp, 20));
+  EXPECT_NEAR(a400, a20, 1e-9);
+  EXPECT_GT(a400, 30.0);  // P100->A100 saves a lot of energy
+  EXPECT_LT(a400, 70.0);
+  // Savings approach the asymptote from below.
+  const auto sc = scenario(p100_node(), a100_node(), Suite::kNlp, 400);
+  EXPECT_LT(savings_percent(sc, 5.0), a400);
+  EXPECT_NEAR(savings_percent(sc, 50.0), a400, 2.0);
+}
+
+TEST(Upgrade, DowngradeNeverBreaksEven) {
+  // A100 -> P100 "upgrade" consumes more energy per job: no breakeven.
+  const auto sc = scenario(a100_node(), p100_node(), Suite::kNlp, 200);
+  EXPECT_FALSE(breakeven_years(sc).has_value());
+  EXPECT_LT(savings_percent(sc, 5.0), 0.0);
+}
+
+TEST(Upgrade, SavingsCurveMatchesPointQueries) {
+  const auto sc = scenario(p100_node(), v100_node(), Suite::kCandle, 200);
+  const std::vector<double> years = {0.5, 1, 2, 5};
+  const auto curve = savings_curve(sc, years);
+  ASSERT_EQ(curve.size(), years.size());
+  for (std::size_t i = 0; i < years.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve[i], savings_percent(sc, years[i]));
+  }
+}
+
+TEST(Upgrade, Validation) {
+  auto sc = scenario(p100_node(), v100_node(), Suite::kNlp, 200);
+  EXPECT_THROW(savings_percent(sc, 0.0), Error);
+  sc.usage.gpu_usage = 0.0;
+  EXPECT_THROW(annual_energy_keep(sc), Error);
+  sc.usage.gpu_usage = 1.5;
+  EXPECT_THROW(annual_energy_keep(sc), Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::lifecycle

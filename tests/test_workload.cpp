@@ -1,0 +1,120 @@
+#include "workload/model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace hpcarbon::workload {
+namespace {
+
+TEST(Workload, Table4SuiteRoster) {
+  EXPECT_EQ(all_suites().size(), 3u);
+  EXPECT_EQ(models(Suite::kNlp).size(), 5u);
+  EXPECT_EQ(models(Suite::kVision).size(), 5u);
+  EXPECT_EQ(models(Suite::kCandle).size(), 5u);
+  EXPECT_EQ(all_models().size(), 15u);
+}
+
+TEST(Workload, Table4ModelNames) {
+  // NLP: BERT, DistilBERT, MPNet, RoBERTa, BART.
+  for (const char* name :
+       {"BERT", "DistilBERT", "MPNet", "RoBERTa", "BART"}) {
+    EXPECT_EQ(model_by_name(name).suite, Suite::kNlp) << name;
+  }
+  for (const char* name :
+       {"ResNet50", "ResNeXt50", "ShuffleNetV2", "VGG19", "ViT"}) {
+    EXPECT_EQ(model_by_name(name).suite, Suite::kVision) << name;
+  }
+  for (const char* name : {"Combo", "NT3", "P1B1", "ST1", "TC1"}) {
+    EXPECT_EQ(model_by_name(name).suite, Suite::kCandle) << name;
+  }
+  EXPECT_THROW(model_by_name("GPT-7"), Error);
+}
+
+TEST(Workload, SuiteNames) {
+  EXPECT_STREQ(to_string(Suite::kNlp), "NLP");
+  EXPECT_STREQ(to_string(Suite::kVision), "Vision");
+  EXPECT_STREQ(to_string(Suite::kCandle), "CANDLE");
+}
+
+TEST(Workload, ArchFactorsMonotonic) {
+  // Every benchmark is faster on Volta than Pascal and on Ampere than Volta.
+  for (const auto* m : all_models()) {
+    EXPECT_GT(m->volta_factor, 1.0) << m->name;
+    EXPECT_GT(m->ampere_factor, m->volta_factor) << m->name;
+  }
+}
+
+TEST(Workload, SuiteAverageImprovementsMatchTable6) {
+  // Table 6 via per-model factors: improvement = 1 - mean(1/factor).
+  auto avg_improvement = [](Suite s, auto factor_of) {
+    double acc = 0;
+    for (const auto& m : models(s)) acc += 1.0 / factor_of(m);
+    return 100.0 * (1.0 - acc / 5.0);
+  };
+  auto volta = [](const BenchmarkModel& m) { return m.volta_factor; };
+  auto ampere = [](const BenchmarkModel& m) { return m.ampere_factor; };
+  auto va = [](const BenchmarkModel& m) {
+    return m.ampere_factor / m.volta_factor;
+  };
+  // P100 -> V100: 44.4 / 41.2 / 45.5 %.
+  EXPECT_NEAR(avg_improvement(Suite::kNlp, volta), 44.4, 1.0);
+  EXPECT_NEAR(avg_improvement(Suite::kVision, volta), 41.2, 1.0);
+  EXPECT_NEAR(avg_improvement(Suite::kCandle, volta), 45.5, 1.0);
+  // P100 -> A100: 59.0 / 60.2 / 68.3 %.
+  EXPECT_NEAR(avg_improvement(Suite::kNlp, ampere), 59.0, 1.0);
+  EXPECT_NEAR(avg_improvement(Suite::kVision, ampere), 60.2, 1.0);
+  EXPECT_NEAR(avg_improvement(Suite::kCandle, ampere), 68.3, 1.0);
+  // V100 -> A100: 25.6 / 35.8 / 44.4 %.
+  EXPECT_NEAR(avg_improvement(Suite::kNlp, va), 25.6, 1.0);
+  EXPECT_NEAR(avg_improvement(Suite::kVision, va), 35.8, 1.0);
+  EXPECT_NEAR(avg_improvement(Suite::kCandle, va), 44.4, 1.0);
+}
+
+TEST(Workload, CandleAlwaysImprovesTheMost) {
+  // "the CANDLE benchmark demonstrated greater performance improvements
+  //  than the other two benchmarks across all three upgrade options".
+  using FactorFn = double (*)(const BenchmarkModel&);
+  auto improvement = [](Suite s, FactorFn factor_of) {
+    double acc = 0;
+    for (const auto& m : models(s)) acc += 1.0 / factor_of(m);
+    return 1.0 - acc / 5.0;
+  };
+  const FactorFn factors[] = {
+      [](const BenchmarkModel& m) { return m.volta_factor; },
+      [](const BenchmarkModel& m) { return m.ampere_factor; },
+      [](const BenchmarkModel& m) { return m.ampere_factor / m.volta_factor; },
+  };
+  for (FactorFn factor : factors) {
+    EXPECT_GT(improvement(Suite::kCandle, factor),
+              improvement(Suite::kNlp, factor));
+    EXPECT_GT(improvement(Suite::kCandle, factor),
+              improvement(Suite::kVision, factor));
+  }
+}
+
+TEST(Workload, CommOverheadsNonNegative) {
+  for (const auto* m : all_models()) {
+    EXPECT_GE(m->ring_overhead, 0.0) << m->name;
+    EXPECT_GE(m->sync_overhead, 0.0) << m->name;
+    EXPECT_GT(m->base_p100_samples_per_s, 0.0) << m->name;
+    EXPECT_GT(m->params_millions, 0.0) << m->name;
+    EXPECT_GT(m->batch_per_gpu, 0) << m->name;
+    EXPECT_GT(m->gpu_power_utilization, 0.5) << m->name;
+    EXPECT_LE(m->gpu_power_utilization, 1.0) << m->name;
+  }
+}
+
+TEST(Workload, RingOverheadTracksParameterCountWithinNlp) {
+  // BART (406M params) must have the largest allreduce cost of the NLP set;
+  // DistilBERT (66M) the smallest.
+  const auto& bart = model_by_name("BART");
+  const auto& distil = model_by_name("DistilBERT");
+  for (const auto& m : models(Suite::kNlp)) {
+    EXPECT_LE(m.ring_overhead, bart.ring_overhead) << m.name;
+    EXPECT_GE(m.ring_overhead, distil.ring_overhead) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace hpcarbon::workload
