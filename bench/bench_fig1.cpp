@@ -8,9 +8,11 @@
 #include "bench_common.h"
 #include "embodied/catalog.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner("Figure 1 (a): Embodied carbon of GPU/CPU devices");
   TextTable a({"Device", "Class", "Embodied (kgCO2)", ""});
   double max_kg = 0;
@@ -65,3 +67,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig1", ToolKind::kBench,
+              "Fig. 1: embodied carbon of GPU/CPU devices, absolute and per-TFLOPS")

@@ -8,9 +8,11 @@
 #include "bench_common.h"
 #include "embodied/catalog.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner("Figure 2 (a): Embodied carbon of DRAM/SSD/HDD");
   TextTable a({"Device", "Capacity (GB)", "EPC (g/GB)", "Embodied (kgCO2)",
                ""});
@@ -39,3 +41,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig2", ToolKind::kBench,
+              "Fig. 2: embodied carbon of DRAM/SSD/HDD, absolute and per-GB/s")

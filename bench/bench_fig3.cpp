@@ -9,9 +9,11 @@
 #include "bench_common.h"
 #include "embodied/catalog.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner(
       "Figure 3: Manufacturing vs packaging share of embodied carbon");
 
@@ -44,3 +46,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig3", ToolKind::kBench,
+              "Fig. 3: manufacturing vs packaging split per device class")

@@ -10,6 +10,8 @@
 #include "hw/node.h"
 #include "hw/perf.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
 namespace {
@@ -26,7 +28,7 @@ double suite_perf(workload::Suite s, int k) {
 
 }  // namespace
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner(
       "Figure 4: Embodied carbon and performance vs number of GPUs");
 
@@ -59,3 +61,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig4", ToolKind::kBench,
+              "Fig. 4: embodied carbon vs performance as GPUs per node grow")

@@ -10,9 +10,11 @@
 #include "bench_common.h"
 #include "lifecycle/systems.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner(
       "Figure 5: Embodied carbon breakdown of leadership systems");
 
@@ -49,3 +51,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig5", ToolKind::kBench,
+              "Fig. 5: embodied-carbon share by component for three systems")

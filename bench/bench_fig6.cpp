@@ -12,9 +12,11 @@
 #include "grid/presets.h"
 #include "grid/simulator.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   const auto traces = grid::generate_traces(grid::all_regions());
   const auto summaries = grid::summarize(traces);
 
@@ -53,3 +55,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig6", ToolKind::kBench,
+              "Fig. 6: annual carbon-intensity distribution for seven regions")

@@ -12,9 +12,11 @@
 #include "grid/presets.h"
 #include "grid/simulator.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   const auto traces = grid::generate_traces(grid::fig7_regions());
   const auto winners = grid::hourly_lowest_ci(traces, kJst);
 
@@ -50,3 +52,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig7", ToolKind::kBench,
+              "Fig. 7: hour-of-day lowest-CI winner analysis (JST-aligned)")

@@ -10,9 +10,11 @@
 #include "bench_common.h"
 #include "lifecycle/upgrade.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner("Figure 8: Carbon savings after upgrade (usage 40%)");
 
   const std::vector<double> years = {0.1, 0.25, 0.5, 1, 2, 3, 4, 5};
@@ -56,3 +58,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig8", ToolKind::kBench,
+              "Fig. 8: five-year upgrade savings across grids and workloads")

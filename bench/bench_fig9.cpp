@@ -11,9 +11,11 @@
 #include "bench_common.h"
 #include "lifecycle/upgrade.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner(
       "Figure 9: Carbon savings after upgrade by usage pattern (200 g/kWh)");
 
@@ -58,3 +60,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fig9", ToolKind::kBench,
+              "Fig. 9: upgrade savings under different GPU usage patterns")

@@ -10,9 +10,11 @@
 #include "bench_common.h"
 #include "lifecycle/fleet.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   lifecycle::UpgradeScenario node;
   node.old_node = hw::v100_node();
   node.new_node = hw::a100_node();
@@ -81,3 +83,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("fleet", ToolKind::kBench,
+              "Ablation A4: fleet-scale upgrade planning under decarbonization")

@@ -15,9 +15,11 @@
 #include "sched/simulator.h"
 #include "sched/workload_gen.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   const auto specs = grid::fig7_regions();
   const auto traces = grid::generate_traces(specs);
 
@@ -88,3 +90,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("forecast", ToolKind::kBench,
+              "Ablation A3: CI forecasting skill and forecast-driven scheduling")

@@ -13,9 +13,11 @@
 #include "sched/simulator.h"
 #include "sched/workload_gen.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   // Home site is the dirtiest of the Fig. 7 trio (ERCOT); ESO and CISO are
   // the remote options. Moderate load (well under one site's capacity) so
   // the policies differ by *placement choice*, not by queueing overflow.
@@ -118,3 +120,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("sched-ablation", ToolKind::kBench,
+              "Ablation A1: carbon-aware scheduling policies vs FCFS baseline")

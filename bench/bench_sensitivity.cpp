@@ -9,6 +9,8 @@
 #include "embodied/uncertainty.h"
 #include "lifecycle/upgrade.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
 namespace {
@@ -128,7 +130,7 @@ void monte_carlo() {
 
 }  // namespace
 
-int main() {
+static int tool_main(int, char**) {
   yield_sweep();
   iod_inclusion();
   epc_sweep();
@@ -136,3 +138,6 @@ int main() {
   monte_carlo();
   return 0;
 }
+
+HPCARBON_TOOL("sensitivity", ToolKind::kBench,
+              "Ablation A2: sensitivity to yield, EPC, PUE, and MC input bands")

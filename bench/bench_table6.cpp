@@ -11,9 +11,11 @@
 #include "hw/node.h"
 #include "hw/perf.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   bench::print_banner("Table 6: Performance improvement from node upgrades");
 
   const double paper[3][4] = {{44.4, 41.2, 45.5, 43.4},
@@ -46,3 +48,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("table6", ToolKind::kBench,
+              "Table 6: per-suite performance improvement from node upgrades")

@@ -10,6 +10,8 @@
 #include "lifecycle/systems.h"
 #include "workload/model.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
 namespace {
@@ -78,7 +80,7 @@ void table5() {
 
 }  // namespace
 
-int main() {
+static int tool_main(int, char**) {
   table1();
   table2();
   table3();
@@ -88,3 +90,6 @@ int main() {
             << std::endl;
   return 0;
 }
+
+HPCARBON_TOOL("tables", ToolKind::kBench,
+              "Tables 1-5: every catalog constant the experiments depend on")

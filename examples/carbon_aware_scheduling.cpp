@@ -12,9 +12,11 @@
 #include "sched/simulator.h"
 #include "sched/workload_gen.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   // Home site: ERCOT (dirtiest of the trio); four summer weeks.
   const auto traces = grid::generate_traces(grid::fig7_regions());
   std::vector<sched::Site> sites = {
@@ -78,3 +80,6 @@ int main() {
                "incentive the paper's carbon budgets are designed to price.\n";
   return 0;
 }
+
+HPCARBON_TOOL("carbon-aware-scheduling", ToolKind::kExample,
+              "One month of jobs over three sites under every policy")

@@ -19,6 +19,8 @@
 #include "grid/simulator.h"
 #include "lifecycle/systems.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
 namespace {
@@ -35,7 +37,7 @@ struct Entry {
 
 }  // namespace
 
-int main() {
+static int tool_main(int, char**) {
   // Regional grids: Frontier in the US Southeast (PJM-like mix is the
   // closest Table 3 proxy), LUMI on Finnish hydro (use the paper's 20 g/kWh
   // hydro figure), Perlmutter on the California grid.
@@ -115,3 +117,6 @@ int main() {
                "embodied accounting reshuffle the 'greenness' ranking.\n";
   return 0;
 }
+
+HPCARBON_TOOL("green500-reranker", ToolKind::kExample,
+              "Green500 re-ranking by facility location and energy mix")

@@ -18,9 +18,11 @@
 #include "op/attribution.h"
 #include "op/tracker.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main() {
+static int tool_main(int, char**) {
   // 1. Embodied carbon of a Table 5 A100 node (4x A100 PCIe + 4x EPYC 7542
   //    + 512 GB DDR4 + local SSD).
   const hw::NodeConfig node = hw::a100_node();
@@ -74,3 +76,6 @@ int main() {
                "dominates.\n";
   return 0;
 }
+
+HPCARBON_TOOL("quickstart", ToolKind::kExample,
+              "Full C_total = C_em + C_op pipeline in ~60 lines")

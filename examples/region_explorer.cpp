@@ -12,9 +12,11 @@
 #include "grid/presets.h"
 #include "grid/simulator.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
-int main(int argc, char** argv) {
+static int tool_main(int argc, char** argv) {
   const std::string code = argc > 1 ? argv[1] : "ESO";
   grid::RegionSpec spec;
   bool found = false;
@@ -84,3 +86,6 @@ int main(int argc, char** argv) {
             << TextTable::num(100.0 * (hi - lo) / hi, 0) << "%.\n";
   return 0;
 }
+
+HPCARBON_TOOL("region-explorer", ToolKind::kExample,
+              "Inspect any Table 3 region: stats, mix, diurnal profile [CODE]")

@@ -13,6 +13,8 @@
 #include "embodied/report.h"
 #include "lifecycle/inventory.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 using embodied::PartClass;
 using embodied::PartId;
@@ -58,7 +60,7 @@ double peak_fp64_pflops(const lifecycle::SystemInventory& s) {
 
 }  // namespace
 
-int main() {
+static int tool_main(int, char**) {
   std::cout << banner("RFP embodied-carbon comparison");
   TextTable t({"Metric", "Design A (FLOPS-first)", "Design B (balanced)"});
 
@@ -105,3 +107,6 @@ int main() {
       opts);
   return 0;
 }
+
+HPCARBON_TOOL("system-designer", ToolKind::kExample,
+              "Compare candidate system designs by embodied carbon")

@@ -15,6 +15,8 @@
 #include "core/table.h"
 #include "lifecycle/upgrade.h"
 
+#include "cli/registry.h"
+
 using namespace hpcarbon;
 
 namespace {
@@ -29,7 +31,7 @@ hw::NodeConfig node_by_name(const std::string& name) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+static int tool_main(int argc, char** argv) {
   try {
     const std::string from = argc > 1 ? argv[1] : "V100";
     const std::string to = argc > 2 ? argv[2] : "A100";
@@ -84,3 +86,6 @@ int main(int argc, char** argv) {
     return 1;
   }
 }
+
+HPCARBON_TOOL("upgrade-advisor", ToolKind::kExample,
+              "Is a node upgrade carbon-positive, and when does it break even?")

@@ -1,0 +1,57 @@
+#include "cli/registry.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace hpcarbon::cli {
+
+namespace {
+
+// Function-local static: tool registrars run during static initialization
+// of other translation units, before any global vector here would be
+// guaranteed constructed.
+std::vector<ToolEntry>& registry() {
+  static std::vector<ToolEntry> entries;
+  return entries;
+}
+
+}  // namespace
+
+const char* to_string(ToolKind kind) {
+  switch (kind) {
+    case ToolKind::kBench:
+      return "bench";
+    case ToolKind::kExample:
+      return "example";
+  }
+  return "unknown";
+}
+
+void register_tool(ToolEntry entry) {
+  auto& entries = registry();
+  for (auto& e : entries) {
+    if (e.name == entry.name) {
+      e = std::move(entry);
+      return;
+    }
+  }
+  entries.push_back(std::move(entry));
+}
+
+std::vector<ToolEntry> tools() {
+  std::vector<ToolEntry> sorted = registry();
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ToolEntry& a, const ToolEntry& b) {
+              return std::tie(a.kind, a.name) < std::tie(b.kind, b.name);
+            });
+  return sorted;
+}
+
+const ToolEntry* find_tool(const std::string& name) {
+  for (const auto& e : registry()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace hpcarbon::cli

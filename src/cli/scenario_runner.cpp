@@ -1,0 +1,200 @@
+#include "cli/scenario_runner.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "grid/analysis.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+#include "sched/workload_gen.h"
+
+namespace hpcarbon::cli {
+
+namespace {
+
+struct PolicyName {
+  const char* short_name;
+  sched::Policy policy;
+};
+
+constexpr PolicyName kPolicyNames[] = {
+    {"fcfs", sched::Policy::kFcfsLocal},
+    {"greedy", sched::Policy::kGreedyLowestCi},
+    {"threshold", sched::Policy::kThresholdDelay},
+    {"budget", sched::Policy::kBudgetAware},
+    {"forecast", sched::Policy::kForecastDelay},
+    {"net-benefit", sched::Policy::kNetBenefit},
+};
+
+grid::RegionSpec spec_for_code(const std::string& code) {
+  for (const auto& spec : grid::all_regions()) {
+    if (spec.code == code) return spec;
+  }
+  std::string known;
+  for (const auto& c : region_codes()) known += (known.empty() ? "" : ", ") + c;
+  throw Error("unknown region code '" + code + "' (known: " + known + ")");
+}
+
+sched::PolicyConfig config_for(sched::Policy policy) {
+  sched::PolicyConfig cfg;
+  cfg.policy = policy;
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<std::string> region_codes() {
+  std::vector<std::string> codes;
+  for (const auto& spec : grid::all_regions()) codes.push_back(spec.code);
+  return codes;
+}
+
+std::vector<std::string> policy_names() {
+  std::vector<std::string> names;
+  for (const auto& p : kPolicyNames) names.emplace_back(p.short_name);
+  return names;
+}
+
+sched::Policy parse_policy(const std::string& name) {
+  for (const auto& p : kPolicyNames) {
+    if (name == p.short_name || name == sched::to_string(p.policy)) {
+      return p.policy;
+    }
+  }
+  std::string known;
+  for (const auto& p : kPolicyNames) {
+    known += (known.empty() ? "" : ", ") + std::string(p.short_name);
+  }
+  throw Error("unknown policy '" + name + "' (known: " + known + ")");
+}
+
+ScenarioReport run_scenarios(const ScenarioOptions& opts) {
+  // Resolve the region selection up front so bad codes fail fast.
+  std::vector<grid::RegionSpec> specs;
+  if (opts.regions.empty()) {
+    specs = grid::all_regions();
+  } else {
+    for (const auto& code : opts.regions) specs.push_back(spec_for_code(code));
+  }
+
+  // FcfsLocal always runs first: it is the savings denominator.
+  std::vector<sched::Policy> policies = {sched::Policy::kFcfsLocal};
+  std::vector<sched::Policy> requested = opts.policies;
+  if (requested.empty()) {
+    for (const auto& p : kPolicyNames) requested.push_back(p.policy);
+  }
+  for (sched::Policy p : requested) {
+    if (std::find(policies.begin(), policies.end(), p) == policies.end()) {
+      policies.push_back(p);
+    }
+  }
+
+  // Stage 1 — one 8760-hour trace per region, generated in parallel on the
+  // global pool.
+  const auto traces = grid::generate_traces(specs);
+  const auto summaries = grid::summarize(traces);
+
+  // Cleanest-first region order (by annual median CI) decides which sites
+  // serve as remote-dispatch options for each home region.
+  std::vector<std::size_t> by_median(specs.size());
+  for (std::size_t i = 0; i < by_median.size(); ++i) by_median[i] = i;
+  std::sort(by_median.begin(), by_median.end(),
+            [&](std::size_t a, std::size_t b) {
+              return summaries[a].box.median < summaries[b].box.median;
+            });
+
+  sched::WorkloadParams wp;
+  wp.horizon_hours = 24.0 * opts.horizon_days;
+  wp.arrival_rate_per_hour = opts.arrival_rate_per_hour;
+  const auto jobs = sched::generate_jobs(wp);
+  const HourOfYear epoch(month_start_hour(opts.start_month));
+
+  // Stage 2 — the (region x policy) ablation matrix on the global pool.
+  ScenarioReport report;
+  report.jobs = jobs.size();
+  report.rows.resize(specs.size() * policies.size());
+
+  std::mutex mu;
+  std::set<std::thread::id> worker_ids;
+
+  ThreadPool::global().parallel_for(
+      0, report.rows.size(), [&](std::size_t cell) {
+        const std::size_t r = cell / policies.size();
+        const sched::Policy policy = policies[cell % policies.size()];
+
+        std::vector<sched::Site> sites = {
+            sched::make_site(specs[r].code, traces[r], opts.site_capacity)};
+        for (std::size_t idx : by_median) {
+          if (idx == r || sites.size() >= 3) continue;
+          sites.push_back(sched::make_site(specs[idx].code, traces[idx],
+                                           opts.site_capacity));
+        }
+
+        sched::SchedulerSimulator sim(sites, epoch);
+        const auto metrics = sim.run(jobs, config_for(policy));
+
+        ScenarioRow& row = report.rows[cell];
+        row.region = specs[r].code;
+        row.policy = sched::to_string(policy);
+        row.median_ci_g_per_kwh = summaries[r].box.median;
+        row.cov_percent = summaries[r].cov_percent;
+        row.carbon_kg = metrics.total_carbon.to_kilograms();
+        row.mean_wait_hours = metrics.mean_wait_hours;
+        row.p95_wait_hours = metrics.p95_wait_hours;
+        row.remote_dispatches = metrics.remote_dispatches;
+        row.jobs_completed = metrics.jobs_completed;
+
+        std::lock_guard<std::mutex> lock(mu);
+        worker_ids.insert(std::this_thread::get_id());
+      });
+
+  report.worker_threads_used = worker_ids.size();
+
+  // Savings relative to the same region's FcfsLocal cell (index 0 of each
+  // region's policy block, by construction).
+  for (std::size_t r = 0; r < specs.size(); ++r) {
+    const double base = report.rows[r * policies.size()].carbon_kg;
+    for (std::size_t p = 0; p < policies.size(); ++p) {
+      ScenarioRow& row = report.rows[r * policies.size() + p];
+      row.savings_vs_fcfs_pct = base > 0 ? 100.0 * (base - row.carbon_kg) / base
+                                         : 0.0;
+    }
+  }
+  return report;
+}
+
+TextTable ScenarioReport::to_table() const {
+  TextTable t({"Region", "Policy", "Median CI", "CoV%", "Carbon (kg)",
+               "vs FCFS", "Mean wait (h)", "p95 wait (h)", "Remote", "Jobs"});
+  for (const auto& r : rows) {
+    t.add_row({r.region, r.policy, TextTable::num(r.median_ci_g_per_kwh, 0),
+               TextTable::num(r.cov_percent, 1), TextTable::num(r.carbon_kg, 1),
+               TextTable::pct(r.savings_vs_fcfs_pct, 1),
+               TextTable::num(r.mean_wait_hours, 2),
+               TextTable::num(r.p95_wait_hours, 2),
+               std::to_string(r.remote_dispatches),
+               std::to_string(r.jobs_completed)});
+  }
+  return t;
+}
+
+std::string ScenarioReport::to_csv() const {
+  std::ostringstream out;
+  out << "region,policy,median_ci_g_per_kwh,cov_percent,carbon_kg,"
+         "savings_vs_fcfs_pct,mean_wait_hours,p95_wait_hours,"
+         "remote_dispatches,jobs_completed\n";
+  for (const auto& r : rows) {
+    out << r.region << ',' << r.policy << ',' << r.median_ci_g_per_kwh << ','
+        << r.cov_percent << ',' << r.carbon_kg << ',' << r.savings_vs_fcfs_pct
+        << ',' << r.mean_wait_hours << ',' << r.p95_wait_hours << ','
+        << r.remote_dispatches << ',' << r.jobs_completed << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace hpcarbon::cli

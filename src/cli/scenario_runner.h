@@ -1,0 +1,70 @@
+// Batch scenario runner: the region x scheduler-policy sweep behind
+// `hpcarbon run`.
+//
+// A scenario is one home region running one scheduling policy against a
+// common synthetic job stream, with the two cleanest other selected regions
+// available as remote sites (cross-region policies need somewhere to
+// dispatch to). Region trace generation and the policy ablation matrix both
+// fan out over ThreadPool::global(); the results merge into a single
+// table/CSV report, one row per (region, policy) cell.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "sched/simulator.h"
+
+namespace hpcarbon::cli {
+
+struct ScenarioOptions {
+  /// Table 3 region codes (KN, TK, ESO, CISO, PJM, MISO, ERCOT).
+  /// Empty selects all seven.
+  std::vector<std::string> regions;
+  /// Policies to ablate; empty selects all six. FcfsLocal is always run —
+  /// it is the savings baseline.
+  std::vector<sched::Policy> policies;
+  double horizon_days = 28;
+  double arrival_rate_per_hour = 2.5;
+  int start_month = 5;  // 0-based: June 1, where Fig. 7 complementarity peaks
+  int site_capacity = 16;
+};
+
+struct ScenarioRow {
+  std::string region;
+  std::string policy;
+  double median_ci_g_per_kwh = 0;  // home-region trace statistics
+  double cov_percent = 0;
+  double carbon_kg = 0;
+  double savings_vs_fcfs_pct = 0;
+  double mean_wait_hours = 0;
+  double p95_wait_hours = 0;
+  int remote_dispatches = 0;
+  int jobs_completed = 0;
+};
+
+struct ScenarioReport {
+  std::vector<ScenarioRow> rows;  // region-major, FcfsLocal first per region
+  std::size_t jobs = 0;
+  /// Distinct pool worker threads that executed scenario cells.
+  std::size_t worker_threads_used = 0;
+
+  TextTable to_table() const;
+  std::string to_csv() const;
+};
+
+/// All Table 3 region codes, in paper order.
+std::vector<std::string> region_codes();
+
+/// Short names accepted by parse_policy, in Policy enum order.
+std::vector<std::string> policy_names();
+
+/// Accepts the short name ("greedy") or the full name ("greedy-lowest-ci").
+/// Throws hpcarbon::Error for unknown names.
+sched::Policy parse_policy(const std::string& name);
+
+/// Run the full matrix. Throws hpcarbon::Error for unknown region codes.
+ScenarioReport run_scenarios(const ScenarioOptions& opts);
+
+}  // namespace hpcarbon::cli

@@ -10,17 +10,43 @@ namespace hpcarbon {
 
 namespace {
 
-std::vector<std::string> split_line(const std::string& line) {
+std::vector<std::string> split_line(const std::string& line,
+                                    std::size_t line_no) {
   std::vector<std::string> cells;
   std::string cur;
-  for (char ch : line) {
-    if (ch == ',') {
+  bool quoted = false;
+  bool sealed = false;  // cell ended with a closing quote; next must be ','
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (quoted) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');  // RFC 4180 escaped quote
+          ++i;
+        } else {
+          quoted = false;
+          sealed = true;
+        }
+      } else {
+        cur.push_back(ch);
+      }
+    } else if (ch == ',') {
       cells.push_back(cur);
       cur.clear();
-    } else if (ch != '\r') {
+      sealed = false;
+    } else if (ch == '\r') {
+      continue;
+    } else if (sealed) {
+      throw Error("text after closing quote in CSV row " +
+                  std::to_string(line_no));
+    } else if (ch == '"' && cur.empty()) {
+      quoted = true;
+    } else {
       cur.push_back(ch);
     }
   }
+  HPC_REQUIRE(!quoted,
+              "unterminated quote in CSV row " + std::to_string(line_no));
   cells.push_back(cur);
   return cells;
 }
@@ -42,9 +68,11 @@ CsvData parse_csv(const std::string& text) {
   std::string line;
   bool first = true;
   std::size_t expected_cols = 0;
+  std::size_t line_no = 0;  // 1-based, counting blank lines too
   while (std::getline(in, line)) {
+    ++line_no;
     if (line.empty() || line == "\r") continue;
-    auto cells = split_line(line);
+    auto cells = split_line(line, line_no);
     if (first) {
       first = false;
       bool all_numeric = true;
@@ -61,7 +89,10 @@ CsvData parse_csv(const std::string& text) {
         continue;
       }
     }
-    HPC_REQUIRE(cells.size() == expected_cols, "ragged CSV row");
+    HPC_REQUIRE(cells.size() == expected_cols,
+                "ragged CSV row " + std::to_string(line_no) + ": got " +
+                    std::to_string(cells.size()) + " cells, expected " +
+                    std::to_string(expected_cols));
     std::vector<double> row;
     row.reserve(cells.size());
     for (const auto& c : cells) {

@@ -2,8 +2,9 @@
 //
 // Real deployments would feed measured hourly data (Electricity Maps / UK
 // ESO API exports) straight into the analysis; this module provides the
-// interchange point. Format: optional header row, comma separation, no
-// quoting (the data is purely numeric plus simple labels).
+// interchange point. Format: optional header row, comma separation,
+// RFC 4180-style double quotes around cells that contain commas ("" escapes
+// a literal quote), and an optional newline on the final row.
 #pragma once
 
 #include <iosfwd>

@@ -37,7 +37,9 @@ double max(std::span<const double> xs) {
 double cov_percent(std::span<const double> xs) {
   const double m = mean(xs);
   HPC_REQUIRE(m != 0.0, "CoV undefined for zero mean");
-  return 100.0 * stddev(xs) / m;
+  // CoV is defined on |mean|: dispersion must not report as negative for
+  // negative-mean series (e.g. carbon *savings* deltas).
+  return 100.0 * stddev(xs) / std::abs(m);
 }
 
 double quantile(std::span<const double> xs, double p) {

@@ -1,9 +1,35 @@
 #include "core/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <exception>
 
 namespace hpcarbon {
+
+namespace {
+// Which pool (if any) owns the current thread. Lets parallel_for detect
+// re-entry from one of its own workers: submitting chunks back to the pool
+// and blocking on them from a worker can deadlock once all workers are
+// blocked waiting on queued chunks no thread is free to run.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+std::atomic<std::size_t> g_global_threads{0};
+
+std::size_t global_thread_count() {
+  const std::size_t hint = g_global_threads.load();
+  if (hint > 0) return hint;
+  return ThreadPool::env_thread_hint();  // 0: hardware_concurrency default
+}
+}  // namespace
+
+std::size_t ThreadPool::env_thread_hint() {
+  if (const char* env = std::getenv("HPCARBON_THREADS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 0;
+}
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
@@ -25,6 +51,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_current_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -43,7 +70,9 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (begin >= end) return;
   const std::size_t n = end - begin;
   const std::size_t chunks = std::min(n, std::max<std::size_t>(1, size()));
-  if (chunks == 1) {
+  // Nested call from one of this pool's own workers: run inline instead of
+  // deadlocking on chunks the (already busy) workers may never pick up.
+  if (chunks == 1 || t_current_pool == this) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
@@ -70,8 +99,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool;
+  static ThreadPool pool(global_thread_count());
   return pool;
 }
+
+void ThreadPool::set_global_threads(std::size_t n) { g_global_threads = n; }
 
 }  // namespace hpcarbon

@@ -46,12 +46,26 @@ class ThreadPool {
 
   /// Run fn(i) for i in [begin, end), partitioned into contiguous chunks.
   /// Blocks until all iterations complete. Exceptions from workers are
-  /// rethrown on the calling thread (first one wins).
+  /// rethrown on the calling thread (first one wins). Safe to nest: a call
+  /// from one of this pool's own worker threads runs the loop inline
+  /// rather than deadlocking on the shared queue.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
-  /// Process-wide shared pool (lazily constructed).
+  /// Process-wide shared pool (lazily constructed). Worker count: the
+  /// set_global_threads() override if set, else the HPCARBON_THREADS
+  /// environment variable, else hardware_concurrency.
   static ThreadPool& global();
+
+  /// Override the worker count of the global pool. Only effective before
+  /// the first global() call; later calls are ignored (the pool is already
+  /// running). n == 0 restores the default resolution order.
+  static void set_global_threads(std::size_t n);
+
+  /// The HPCARBON_THREADS environment variable as a worker count, or 0 if
+  /// unset/invalid. Shared by global() and the CLI so both resolve the
+  /// variable identically.
+  static std::size_t env_thread_hint();
 
  private:
   void worker_loop();

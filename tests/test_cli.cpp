@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "cli/registry.h"
+#include "cli/scenario_runner.h"
+#include "core/error.h"
+
+#include "core/thread_pool.h"
+
+namespace hpcarbon::cli {
+namespace {
+
+// The sweep assertions below check that the scenario matrix really fans
+// out; pin the pool before its first use so they hold on 1-core runners.
+[[maybe_unused]] const bool g_pool_size_pinned = [] {
+  ThreadPool::set_global_threads(4);
+  return true;
+}();
+
+int fake_tool(int, char**) { return 42; }
+
+TEST(Registry, RegisterFindAndSort) {
+  register_tool({"zz-test-bench", ToolKind::kBench, "a bench", &fake_tool});
+  register_tool({"aa-test-example", ToolKind::kExample, "an example",
+                 &fake_tool});
+
+  const ToolEntry* found = find_tool("zz-test-bench");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->description, "a bench");
+  EXPECT_EQ(found->fn(0, nullptr), 42);
+  EXPECT_EQ(find_tool("no-such-tool"), nullptr);
+
+  // Sorted by (kind, name): every bench precedes every example.
+  const auto all = tools();
+  const auto bench_it = std::find_if(
+      all.begin(), all.end(),
+      [](const ToolEntry& e) { return e.name == "zz-test-bench"; });
+  const auto example_it = std::find_if(
+      all.begin(), all.end(),
+      [](const ToolEntry& e) { return e.name == "aa-test-example"; });
+  ASSERT_NE(bench_it, all.end());
+  ASSERT_NE(example_it, all.end());
+  EXPECT_LT(bench_it - all.begin(), example_it - all.begin());
+}
+
+TEST(Registry, ReRegisteringReplacesEntry) {
+  register_tool({"dup-tool", ToolKind::kBench, "first", &fake_tool});
+  register_tool({"dup-tool", ToolKind::kBench, "second", &fake_tool});
+  int count = 0;
+  for (const auto& e : tools()) count += e.name == "dup-tool";
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(find_tool("dup-tool")->description, "second");
+}
+
+TEST(ScenarioRunner, KnownRegionsAndPolicies) {
+  const auto codes = region_codes();
+  ASSERT_EQ(codes.size(), 7u);
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "ESO"), codes.end());
+  EXPECT_EQ(policy_names().size(), 6u);
+  EXPECT_EQ(parse_policy("greedy"), sched::Policy::kGreedyLowestCi);
+  EXPECT_EQ(parse_policy("greedy-lowest-ci"), sched::Policy::kGreedyLowestCi);
+  EXPECT_THROW(parse_policy("warp-drive"), Error);
+}
+
+TEST(ScenarioRunner, SweepProducesFullMatrixWithBaseline) {
+  ScenarioOptions opts;
+  opts.regions = {"ESO", "ERCOT"};
+  opts.policies = {sched::Policy::kGreedyLowestCi};
+  opts.horizon_days = 7;
+  opts.arrival_rate_per_hour = 1.0;
+
+  const ScenarioReport report = run_scenarios(opts);
+  // 2 regions x (FcfsLocal baseline + 1 requested policy).
+  ASSERT_EQ(report.rows.size(), 4u);
+  EXPECT_GT(report.jobs, 0u);
+  // Which of the 4 pinned workers dequeue the 4 cells is an OS scheduling
+  // race (one worker can drain the whole queue on a loaded single-core
+  // runner), so only the bounds are deterministic.
+  EXPECT_GE(report.worker_threads_used, 1u);
+  EXPECT_LE(report.worker_threads_used, 4u);
+
+  for (std::size_t r = 0; r < 2; ++r) {
+    const auto& base = report.rows[r * 2];
+    const auto& greedy = report.rows[r * 2 + 1];
+    EXPECT_EQ(base.policy, "fcfs-local");
+    EXPECT_EQ(greedy.policy, "greedy-lowest-ci");
+    EXPECT_EQ(base.region, greedy.region);
+    EXPECT_DOUBLE_EQ(base.savings_vs_fcfs_pct, 0.0);
+    EXPECT_GT(base.carbon_kg, 0.0);
+    EXPECT_GT(base.median_ci_g_per_kwh, 0.0);
+    EXPECT_GT(base.jobs_completed, 0);
+  }
+
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("region,policy,median_ci_g_per_kwh"), std::string::npos);
+  // Header + one line per row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  EXPECT_EQ(report.to_table().rows(), 4u);
+}
+
+TEST(ScenarioRunner, RejectsUnknownRegion) {
+  ScenarioOptions opts;
+  opts.regions = {"ATLANTIS"};
+  EXPECT_THROW(run_scenarios(opts), Error);
+}
+
+}  // namespace
+}  // namespace hpcarbon::cli

@@ -63,6 +63,13 @@ TEST(Stats, CovPercent) {
   EXPECT_THROW(cov_percent(zero_mean), Error);
 }
 
+TEST(Stats, CovPercentNegativeMeanIsPositive) {
+  // Regression: CoV is dispersion relative to |mean|; a negative-mean
+  // series (mean -10, sd 2) must report +20%, not -20%.
+  std::vector<double> xs = {-8, -10, -12};
+  EXPECT_NEAR(cov_percent(xs), 20.0, 1e-9);
+}
+
 TEST(Stats, BoxStatsFiveNumberSummary) {
   std::vector<double> xs;
   for (int i = 1; i <= 100; ++i) xs.push_back(i);

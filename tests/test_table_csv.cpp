@@ -74,6 +74,42 @@ TEST(Csv, RejectsRaggedAndNonNumericRows) {
   EXPECT_THROW(parse_csv("a,b\n1,oops\n"), Error);
 }
 
+TEST(Csv, RaggedRowErrorNamesRowAndWidths) {
+  try {
+    parse_csv("a,b\n1,2\n3\n");
+    FAIL() << "expected Error for ragged row";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("ragged CSV row 3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("got 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("expected 2"), std::string::npos) << msg;
+  }
+}
+
+TEST(Csv, QuotedCellsMayContainCommas) {
+  const auto data = parse_csv("\"region, area\",ci\n1,412.5\n");
+  ASSERT_EQ(data.header.size(), 2u);
+  EXPECT_EQ(data.header[0], "region, area");
+  ASSERT_EQ(data.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(data.rows[0][1], 412.5);
+}
+
+TEST(Csv, QuotedQuoteEscapeAndUnterminatedQuote) {
+  const auto data = parse_csv("\"say \"\"hi\"\"\",x\n1,2\n");
+  ASSERT_EQ(data.header.size(), 2u);
+  EXPECT_EQ(data.header[0], "say \"hi\"");
+  EXPECT_THROW(parse_csv("\"oops\n1\n"), Error);
+  // Text after a closing quote is malformed, not silently merged: "6"7
+  // must not parse as 67.
+  EXPECT_THROW(parse_csv("a,b\n\"5\",\"6\"7\n"), Error);
+}
+
+TEST(Csv, FinalRowWithoutTrailingNewline) {
+  const auto data = parse_csv("hour,ci\n0,412.5\n1,390");
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[1][1], 390.0);
+}
+
 TEST(Csv, SkipsBlankLinesAndCarriageReturns) {
   const auto data = parse_csv("x\r\n1\r\n\r\n2\r\n");
   ASSERT_EQ(data.rows.size(), 2u);

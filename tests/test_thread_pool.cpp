@@ -10,6 +10,14 @@
 namespace hpcarbon {
 namespace {
 
+// Pin the global pool to 4 workers before its first use, so the nested
+// parallel_for tests exercise real cross-thread nesting even on the
+// single-core CI runners where hardware_concurrency() is 1.
+[[maybe_unused]] const bool g_pool_size_pinned = [] {
+  ThreadPool::set_global_threads(4);
+  return true;
+}();
+
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
@@ -60,7 +68,31 @@ TEST(ThreadPool, GlobalPoolIsUsable) {
   ThreadPool::global().parallel_for(0, 10,
                                     [&](std::size_t) { ++counter; });
   EXPECT_EQ(counter.load(), 10);
-  EXPECT_GE(ThreadPool::global().size(), 1u);
+  EXPECT_EQ(ThreadPool::global().size(), 4u);  // pinned above
+}
+
+TEST(ThreadPool, NestedParallelForOnSamePoolDoesNotDeadlock) {
+  // Regression: a parallel_for issued from inside a pool worker used to
+  // submit chunks back to the same (fully busy) pool and block on them.
+  // The nested call must run inline instead.
+  std::atomic<int> counter{0};
+  ThreadPool::global().parallel_for(0, 8, [&](std::size_t) {
+    ThreadPool::global().parallel_for(0, 100,
+                                      [&](std::size_t) { ++counter; });
+  });
+  EXPECT_EQ(counter.load(), 800);
+}
+
+TEST(ThreadPool, NestedParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 4,
+                        [&](std::size_t) {
+                          pool.parallel_for(0, 10, [](std::size_t i) {
+                            if (i == 7) throw std::runtime_error("inner");
+                          });
+                        }),
+      std::runtime_error);
 }
 
 TEST(ThreadPool, ManyMoreTasksThanThreads) {
