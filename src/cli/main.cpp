@@ -20,6 +20,7 @@
 #include "core/error.h"
 #include "core/table.h"
 #include "core/thread_pool.h"
+#include "sched/policy.h"
 
 namespace hpcarbon::cli {
 namespace {
@@ -29,12 +30,14 @@ int usage(std::ostream& out, int exit_code) {
          "\n"
          "commands:\n"
          "  list                         all tools, regions, and policies\n"
+         "  policies                     registered scheduling policies and "
+         "their knobs\n"
          "  run <REGION...>              scenario sweep over the named "
          "Table 3 regions\n"
          "  run --all-regions            scenario sweep over all seven "
          "regions\n"
          "      [--policies a,b,...]     subset of policies (default: all "
-         "six)\n"
+         "registered)\n"
          "      [--days N]               workload horizon (default 28)\n"
          "      [--rate R]               job arrivals per hour (default "
          "2.5)\n"
@@ -94,6 +97,27 @@ int cmd_list() {
   // Report the count `run` would use without spinning up the pool for a
   // purely informational command.
   std::cout << "\nworker threads: " << default_run_threads() << '\n';
+  return 0;
+}
+
+int cmd_policies() {
+  std::cout << banner("registered scheduling policies");
+  TextTable t({"Policy", "Short", "Description", "Knobs (default)"});
+  for (const auto& desc : sched::registered_policies()) {
+    std::string knobs;
+    for (const auto& k : desc.knobs) {
+      if (!knobs.empty()) knobs.append(", ");
+      knobs.append(k.name);
+      knobs.append("=");
+      knobs.append(TextTable::num(k.default_value, 1));
+    }
+    t.add_row({desc.name, desc.short_name, desc.description,
+               knobs.empty() ? std::string("-") : knobs});
+  }
+  std::cout << t.to_string();
+  std::cout << "\nselect with `hpcarbon run --policies name,name,...` "
+               "(canonical or short names);\nsee README \"Adding a "
+               "scheduling policy\" to register your own.\n";
   return 0;
 }
 
@@ -186,6 +210,7 @@ int dispatch(int argc, char** argv) {
     return usage(std::cout, 0);
   }
   if (cmd == "list") return cmd_list();
+  if (cmd == "policies") return cmd_policies();
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
   if (cmd == "bench" || cmd == "example") {
     if (argc < 3) {

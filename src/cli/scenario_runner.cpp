@@ -17,20 +17,6 @@ namespace hpcarbon::cli {
 
 namespace {
 
-struct PolicyName {
-  const char* short_name;
-  sched::Policy policy;
-};
-
-constexpr PolicyName kPolicyNames[] = {
-    {"fcfs", sched::Policy::kFcfsLocal},
-    {"greedy", sched::Policy::kGreedyLowestCi},
-    {"threshold", sched::Policy::kThresholdDelay},
-    {"budget", sched::Policy::kBudgetAware},
-    {"forecast", sched::Policy::kForecastDelay},
-    {"net-benefit", sched::Policy::kNetBenefit},
-};
-
 grid::RegionSpec spec_for_code(const std::string& code) {
   for (const auto& spec : grid::all_regions()) {
     if (spec.code == code) return spec;
@@ -38,12 +24,6 @@ grid::RegionSpec spec_for_code(const std::string& code) {
   std::string known;
   for (const auto& c : region_codes()) known += (known.empty() ? "" : ", ") + c;
   throw Error("unknown region code '" + code + "' (known: " + known + ")");
-}
-
-sched::PolicyConfig config_for(sched::Policy policy) {
-  sched::PolicyConfig cfg;
-  cfg.policy = policy;
-  return cfg;
 }
 
 }  // namespace
@@ -56,19 +36,19 @@ std::vector<std::string> region_codes() {
 
 std::vector<std::string> policy_names() {
   std::vector<std::string> names;
-  for (const auto& p : kPolicyNames) names.emplace_back(p.short_name);
+  for (const auto& desc : sched::registered_policies()) {
+    names.push_back(desc.short_name);
+  }
   return names;
 }
 
-sched::Policy parse_policy(const std::string& name) {
-  for (const auto& p : kPolicyNames) {
-    if (name == p.short_name || name == sched::to_string(p.policy)) {
-      return p.policy;
-    }
+std::string parse_policy(const std::string& name) {
+  if (const auto desc = sched::find_policy(name)) {
+    return desc->name;
   }
   std::string known;
-  for (const auto& p : kPolicyNames) {
-    known += (known.empty() ? "" : ", ") + std::string(p.short_name);
+  for (const auto& desc : sched::registered_policies()) {
+    known += (known.empty() ? "" : ", ") + desc.short_name;
   }
   throw Error("unknown policy '" + name + "' (known: " + known + ")");
 }
@@ -82,15 +62,21 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
     for (const auto& code : opts.regions) specs.push_back(spec_for_code(code));
   }
 
-  // FcfsLocal always runs first: it is the savings denominator.
-  std::vector<sched::Policy> policies = {sched::Policy::kFcfsLocal};
-  std::vector<sched::Policy> requested = opts.policies;
+  // "fcfs-local" always runs first: it is the savings denominator. The
+  // policy set comes from the string-keyed registry, so newly registered
+  // policies appear in the matrix with no edits here.
+  std::vector<std::string> policies = {"fcfs-local"};
+  std::vector<std::string> requested = opts.policies;
   if (requested.empty()) {
-    for (const auto& p : kPolicyNames) requested.push_back(p.policy);
+    for (const auto& desc : sched::registered_policies()) {
+      requested.push_back(desc.name);
+    }
   }
-  for (sched::Policy p : requested) {
-    if (std::find(policies.begin(), policies.end(), p) == policies.end()) {
-      policies.push_back(p);
+  for (const std::string& p : requested) {
+    const std::string canonical = parse_policy(p);
+    if (std::find(policies.begin(), policies.end(), canonical) ==
+        policies.end()) {
+      policies.push_back(canonical);
     }
   }
 
@@ -125,7 +111,7 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
   ThreadPool::global().parallel_for(
       0, report.rows.size(), [&](std::size_t cell) {
         const std::size_t r = cell / policies.size();
-        const sched::Policy policy = policies[cell % policies.size()];
+        const std::string& policy_name = policies[cell % policies.size()];
 
         std::vector<sched::Site> sites = {
             sched::make_site(specs[r].code, traces[r], opts.site_capacity)};
@@ -135,12 +121,13 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
                                            opts.site_capacity));
         }
 
-        sched::SchedulerSimulator sim(sites, epoch);
-        const auto metrics = sim.run(jobs, config_for(policy));
+        sched::SchedulingEngine engine(sites, epoch);
+        const auto policy = sched::make_policy(policy_name);
+        const auto metrics = engine.run(jobs, *policy);
 
         ScenarioRow& row = report.rows[cell];
         row.region = specs[r].code;
-        row.policy = sched::to_string(policy);
+        row.policy = policy_name;
         row.median_ci_g_per_kwh = summaries[r].box.median;
         row.cov_percent = summaries[r].cov_percent;
         row.carbon_kg = metrics.total_carbon.to_kilograms();

@@ -22,9 +22,10 @@ struct ScenarioOptions {
   /// Table 3 region codes (KN, TK, ESO, CISO, PJM, MISO, ERCOT).
   /// Empty selects all seven.
   std::vector<std::string> regions;
-  /// Policies to ablate; empty selects all six. FcfsLocal is always run —
+  /// Canonical policy names to ablate (see sched::registered_policies());
+  /// empty selects every registered policy. "fcfs-local" is always run —
   /// it is the savings baseline.
-  std::vector<sched::Policy> policies;
+  std::vector<std::string> policies;
   double horizon_days = 28;
   double arrival_rate_per_hour = 2.5;
   int start_month = 5;  // 0-based: June 1, where Fig. 7 complementarity peaks
@@ -57,12 +58,13 @@ struct ScenarioReport {
 /// All Table 3 region codes, in paper order.
 std::vector<std::string> region_codes();
 
-/// Short names accepted by parse_policy, in Policy enum order.
+/// Short names of every registered policy, in registration order.
 std::vector<std::string> policy_names();
 
-/// Accepts the short name ("greedy") or the full name ("greedy-lowest-ci").
-/// Throws hpcarbon::Error for unknown names.
-sched::Policy parse_policy(const std::string& name);
+/// Accepts the short name ("greedy") or the canonical name
+/// ("greedy-lowest-ci") of any registered policy and returns the canonical
+/// name. Throws hpcarbon::Error for unknown names.
+std::string parse_policy(const std::string& name);
 
 /// Run the full matrix. Throws hpcarbon::Error for unknown region codes.
 ScenarioReport run_scenarios(const ScenarioOptions& opts);

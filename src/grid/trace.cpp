@@ -9,6 +9,45 @@
 
 namespace hpcarbon::grid {
 
+HourlyPrefixSum::HourlyPrefixSum(std::vector<double> hourly_values)
+    : hourly_(std::move(hourly_values)) {
+  HPC_REQUIRE(hourly_.size() == kHoursPerYear,
+              "prefix sum must cover exactly one year (8760 hours)");
+  prefix_.resize(hourly_.size() + 1);
+  prefix_[0] = 0.0;
+  for (std::size_t i = 0; i < hourly_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + hourly_[i];
+  }
+}
+
+double HourlyPrefixSum::cumulative(double hour) const {
+  const auto i = static_cast<std::size_t>(hour);  // hour >= 0 by contract
+  const double frac = hour - static_cast<double>(i);
+  double c = prefix_[i];
+  if (frac > 0.0) c += hourly_[i] * frac;
+  return c;
+}
+
+double HourlyPrefixSum::integral(double start_hour,
+                                 double duration_hours) const {
+  HPC_REQUIRE(!empty(), "integral over an empty prefix sum");
+  HPC_REQUIRE(std::isfinite(start_hour) && std::isfinite(duration_hours) &&
+                  duration_hours >= 0.0,
+              "interval must be finite with non-negative duration");
+  double s = std::fmod(start_hour, static_cast<double>(kHoursPerYear));
+  if (s < 0.0) s += kHoursPerYear;
+  const double full_years = std::floor(duration_hours / kHoursPerYear);
+  const double d = duration_hours - full_years * kHoursPerYear;
+  double acc = full_years * prefix_.back();
+  const double e = s + d;
+  if (e <= kHoursPerYear) {
+    acc += cumulative(e) - cumulative(s);
+  } else {
+    acc += (prefix_.back() - cumulative(s)) + cumulative(e - kHoursPerYear);
+  }
+  return acc;
+}
+
 CarbonIntensityTrace::CarbonIntensityTrace(std::string region_code,
                                            TimeZone tz,
                                            std::vector<double> values)
@@ -19,6 +58,7 @@ CarbonIntensityTrace::CarbonIntensityTrace(std::string region_code,
     HPC_REQUIRE(std::isfinite(v) && v >= 0.0,
                 "carbon intensity must be finite and non-negative");
   }
+  cumulative_ = HourlyPrefixSum(values_);
 }
 
 CarbonIntensity CarbonIntensityTrace::at(HourOfYear local_hour) const {
@@ -47,17 +87,13 @@ CarbonIntensity CarbonIntensityTrace::mean_over(HourOfYear start,
                                                 Hours duration) const {
   const double hours = duration.count();
   HPC_REQUIRE(hours > 0, "duration must be positive");
-  // Integrate hour by hour; partial trailing hour weighted by its fraction.
-  double acc = 0;
-  double remaining = hours;
-  int idx = start.index();
-  while (remaining > 0) {
-    const double w = remaining >= 1.0 ? 1.0 : remaining;
-    acc += values_[static_cast<std::size_t>(idx)] * w;
-    remaining -= w;
-    idx = (idx + 1) % kHoursPerYear;
-  }
-  return CarbonIntensity::grams_per_kwh(acc / hours);
+  return CarbonIntensity::grams_per_kwh(interval_sum(start.index(), hours) /
+                                        hours);
+}
+
+double CarbonIntensityTrace::interval_sum(double start_hour,
+                                          double duration_hours) const {
+  return cumulative_.integral(start_hour, duration_hours);
 }
 
 std::vector<double> CarbonIntensityTrace::hour_of_day_slice(

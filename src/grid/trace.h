@@ -14,6 +14,38 @@
 
 namespace hpcarbon::grid {
 
+/// O(1) interval integrals over an hourly piecewise-constant year series.
+///
+/// Prefix sums over the 8760 hourly values turn any interval integral —
+/// fractional endpoints, year-boundary wrap, multi-year durations — into a
+/// constant-time difference of two cumulative values, instead of the
+/// hour-stepping loop the scheduler and Eq. 6 integration used to run per
+/// query. The hourly values are kept alongside the prefix array so that
+/// fractional end-hours weight the *exact* stored value (a prefix
+/// difference would reintroduce one ulp of rounding per endpoint).
+class HourlyPrefixSum {
+ public:
+  HourlyPrefixSum() = default;
+  /// values[i] applies over local hour [i, i+1); must cover a whole year.
+  explicit HourlyPrefixSum(std::vector<double> hourly_values);
+
+  bool empty() const { return hourly_.empty(); }
+  /// Integral over one full year.
+  double annual_total() const { return prefix_.empty() ? 0.0 : prefix_.back(); }
+
+  /// Integral of the series over [start_hour, start_hour + duration_hours).
+  /// `start_hour` may be any finite value (wrapped into the year) and the
+  /// duration may span year boundaries or exceed a year. O(1).
+  double integral(double start_hour, double duration_hours) const;
+
+ private:
+  /// Cumulative integral from hour 0 to fractional `hour` in [0, 8760].
+  double cumulative(double hour) const;
+
+  std::vector<double> hourly_;  // size kHoursPerYear
+  std::vector<double> prefix_;  // size kHoursPerYear + 1; prefix_[i] = sum < i
+};
+
 class CarbonIntensityTrace {
  public:
   CarbonIntensityTrace() = default;
@@ -36,7 +68,16 @@ class CarbonIntensityTrace {
 
   /// Mean intensity over [start, start+duration) in local hours; duration
   /// may wrap the year boundary. Used for trace-integrated Eq. 6.
+  /// O(1) via the prefix sums built at construction.
   CarbonIntensity mean_over(HourOfYear start, Hours duration) const;
+
+  /// Integral of intensity over [start_hour, start_hour + duration_hours)
+  /// fractional local hours, wrapping the year; units (g/kWh)·h. O(1).
+  double interval_sum(double start_hour, double duration_hours) const;
+
+  /// The underlying prefix-sum structure (for consumers that build their
+  /// own weighted variants, e.g. the PUE-weighted op::CarbonIntegrator).
+  const HourlyPrefixSum& cumulative() const { return cumulative_; }
 
   /// All values observed at a given local hour-of-day (365 samples).
   std::vector<double> hour_of_day_slice(int hour_of_day) const;
@@ -51,6 +92,7 @@ class CarbonIntensityTrace {
   std::string region_code_;
   TimeZone tz_;
   std::vector<double> values_;
+  HourlyPrefixSum cumulative_;  // built once at construction
 };
 
 }  // namespace hpcarbon::grid

@@ -17,10 +17,19 @@ Mass operational_carbon(Power it_power,
                         HourOfYear start, Hours duration,
                         const PueModel& pue) {
   HPC_REQUIRE(duration.count() > 0, "duration must be positive");
+  const double kw = it_power.to_kilowatts();
+  if (pue.is_constant()) {
+    // O(1): the trace's prefix sums price the whole interval at once; the
+    // constant PUE factors out of the integral.
+    return Mass::grams(kw * pue.base() *
+                       trace.interval_sum(start.index(), duration.count()));
+  }
+  // Seasonal PUE varies per hour: one-shot callers keep the hour-stepping
+  // loop (building a weighted prefix would cost a full year's pass anyway);
+  // repeated-query callers should hold a CarbonIntegrator instead.
   double grams = 0;
   double remaining = duration.count();
   int idx = start.index();
-  const double kw = it_power.to_kilowatts();
   while (remaining > 0) {
     const double w = std::min(1.0, remaining);
     const HourOfYear h(idx);
@@ -35,6 +44,20 @@ Mass operational_carbon(Power it_power,
 CarbonIntensity effective_intensity(const grid::CarbonIntensityTrace& trace,
                                     HourOfYear start, Hours duration) {
   return trace.mean_over(start, duration);
+}
+
+CarbonIntegrator::CarbonIntegrator(const grid::CarbonIntensityTrace& trace,
+                                   const PueModel& pue) {
+  std::vector<double> weighted(trace.values());
+  for (std::size_t i = 0; i < weighted.size(); ++i) {
+    weighted[i] *= pue.at(HourOfYear(static_cast<int>(i)));
+  }
+  weighted_ = grid::HourlyPrefixSum(std::move(weighted));
+}
+
+double CarbonIntegrator::weighted_sum(double start_hour,
+                                      double duration_hours) const {
+  return weighted_.integral(start_hour, duration_hours);
 }
 
 }  // namespace hpcarbon::op

@@ -30,4 +30,34 @@ Mass operational_carbon(Power it_power, const grid::CarbonIntensityTrace& trace,
 CarbonIntensity effective_intensity(const grid::CarbonIntensityTrace& trace,
                                     HourOfYear start, Hours duration);
 
+/// PUE-weighted cumulative carbon over a trace: prefix sums of
+/// intensity(h) * PUE(h) built once, then every interval-carbon query is
+/// O(1) regardless of duration — fractional endpoints and year wrap
+/// included. This is what makes the scheduling engine's per-job carbon
+/// pricing constant-time; hold one per (trace, PUE) pair for repeated
+/// queries instead of calling the free operational_carbon() in a loop.
+class CarbonIntegrator {
+ public:
+  CarbonIntegrator() = default;
+  CarbonIntegrator(const grid::CarbonIntensityTrace& trace,
+                   const PueModel& pue);
+
+  /// Integral of intensity * PUE over [start_hour, start_hour + duration)
+  /// fractional hours in the trace's local time; units (g/kWh)·h. O(1).
+  double weighted_sum(double start_hour, double duration_hours) const;
+
+  /// Grams of CO2 for a constant IT power over the interval. O(1).
+  double carbon_g(double it_kw, double start_hour,
+                  double duration_hours) const {
+    return it_kw * weighted_sum(start_hour, duration_hours);
+  }
+  Mass carbon(Power it_power, double start_hour, double duration_hours) const {
+    return Mass::grams(
+        carbon_g(it_power.to_kilowatts(), start_hour, duration_hours));
+  }
+
+ private:
+  grid::HourlyPrefixSum weighted_;  // per-hour intensity * PUE
+};
+
 }  // namespace hpcarbon::op

@@ -19,6 +19,10 @@ class PueModel {
 
   double base() const { return base_; }
 
+  /// True when the model has no seasonal swing, i.e. at() == base()
+  /// everywhere; fast paths (O(1) trace integration) key off this.
+  bool is_constant() const { return seasonal_amp_ == 0.0; }
+
   /// PUE at a specific hour (seasonal cosine around the base).
   double at(HourOfYear hour) const;
 

@@ -1,0 +1,183 @@
+#include "sched/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace hpcarbon::sched {
+
+std::string ScheduleMetrics::to_string() const {
+  std::ostringstream out;
+  out << "carbon " << hpcarbon::to_string(total_carbon) << " (transfer "
+      << hpcarbon::to_string(transfer_carbon) << "), energy "
+      << hpcarbon::to_string(total_energy) << ", mean wait "
+      << mean_wait_hours << " h, p95 wait " << p95_wait_hours
+      << " h, utilization " << utilization << ", jobs " << jobs_completed
+      << ", remote " << remote_dispatches;
+  return out.str();
+}
+
+namespace {
+
+struct Completion {
+  double time;
+  std::size_t site;
+  bool operator>(const Completion& o) const { return time > o.time; }
+};
+
+}  // namespace
+
+SchedulingEngine::SchedulingEngine(std::vector<Site> sites, HourOfYear epoch,
+                                   op::PueModel pue)
+    : sites_(std::move(sites)), epoch_(epoch), pue_(pue) {
+  HPC_REQUIRE(!sites_.empty(), "need at least one site");
+  integrators_.reserve(sites_.size());
+  for (const auto& s : sites_) {
+    HPC_REQUIRE(s.capacity > 0, "site capacity must be positive");
+    integrators_.emplace_back(s.trace_utc, pue_);
+  }
+}
+
+ScheduleMetrics SchedulingEngine::run(const std::vector<Job>& jobs,
+                                      SchedulingPolicy& policy,
+                                      std::vector<JobOutcome>* outcomes,
+                                      CarbonBudgetLedger* ledger_out) {
+  if (jobs.empty()) {
+    // A quiet horizon is a valid scenario, not a programming error: sweeps
+    // over generated workloads must see all-zero metrics, not an abort.
+    if (ledger_out != nullptr) *ledger_out = CarbonBudgetLedger{};
+    return ScheduleMetrics{};
+  }
+  std::vector<Job> arrivals(jobs);
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const Job& a, const Job& b) { return a.submit_hour < b.submit_hour; });
+
+  CarbonBudgetLedger ledger;
+  std::vector<int> free_slots;
+  for (const auto& s : sites_) free_slots.push_back(s.capacity);
+
+  std::vector<PendingJob> waiting;
+  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
+      completions;
+
+  ScheduleMetrics metrics;
+  std::vector<double> waits;
+  double busy_node_hours = 0;
+  double makespan = 0;
+  double total_grams = 0;
+  double transfer_grams = 0;
+  double total_kwh = 0;
+
+  std::size_t next_arrival = 0;
+  double t = 0;
+
+  ClusterView view;
+  view.sites_ = &sites_;
+  view.free_slots_ = &free_slots;
+  view.integrators_ = &integrators_;
+  view.ledger_ = &ledger;
+  view.pue_ = &pue_;
+  view.now_ = &t;
+  view.epoch_ = epoch_;
+
+  policy.begin_run(arrivals, ledger, view);
+
+  auto start_job = [&](const Job& j, std::size_t site, double now) {
+    --free_slots[site];
+    completions.push(Completion{now + j.duration_hours, site});
+    const double grams = view.job_carbon_g(site, j.it_power, now,
+                                           j.duration_hours);
+    const double kwh =
+        j.it_power.to_kilowatts() * j.duration_hours * pue_.base();
+    double tgrams = 0;
+    if (site != 0) {
+      ++metrics.remote_dispatches;
+      tgrams = sites_[site].transfer_energy.to_kwh() * view.current_ci(site);
+      total_kwh += sites_[site].transfer_energy.to_kwh();
+    }
+    total_grams += grams + tgrams;
+    transfer_grams += tgrams;
+    total_kwh += kwh;
+    busy_node_hours += j.duration_hours;
+    makespan = std::max(makespan, now + j.duration_hours);
+    const double wait = now - j.submit_hour;
+    waits.push_back(wait);
+    ledger.charge(j.user, Mass::grams(grams + tgrams));
+    if (outcomes != nullptr) {
+      outcomes->push_back(JobOutcome{j.id, sites_[site].code, now, wait,
+                                     Mass::grams(grams + tgrams)});
+    }
+    ++metrics.jobs_completed;
+    policy.on_job_started(j, site, grams + tgrams, view);
+  };
+
+  auto dispatch = [&] {
+    while (!waiting.empty()) {
+      const auto decision = policy.select(waiting, view);
+      if (!decision.has_value()) return;
+      HPC_REQUIRE(decision->queue_index < waiting.size() &&
+                      decision->site < sites_.size() &&
+                      free_slots[decision->site] > 0,
+                  "policy returned an invalid dispatch decision");
+      const Job j = waiting[decision->queue_index].job;
+      waiting.erase(waiting.begin() +
+                    static_cast<std::ptrdiff_t>(decision->queue_index));
+      start_job(j, decision->site, t);
+    }
+  };
+
+  // Event loop: arrivals, completions, hourly ticks (so delay/throttle
+  // policies re-evaluate as the grid's intensity moves), and planned start
+  // times.
+  while (next_arrival < arrivals.size() || !completions.empty() ||
+         !waiting.empty()) {
+    double next_time = std::numeric_limits<double>::infinity();
+    if (next_arrival < arrivals.size()) {
+      next_time = std::min(next_time, arrivals[next_arrival].submit_hour);
+    }
+    if (!completions.empty()) {
+      next_time = std::min(next_time, completions.top().time);
+    }
+    if (!waiting.empty()) {
+      next_time = std::min(next_time, std::floor(t) + 1.0);  // next tick
+      for (const auto& p : waiting) {
+        if (p.earliest_start > t) {
+          next_time = std::min(next_time, p.earliest_start);
+        }
+      }
+    }
+    HPC_REQUIRE(std::isfinite(next_time), "scheduler deadlock");
+    t = std::max(t, next_time);
+
+    while (!completions.empty() && completions.top().time <= t + 1e-12) {
+      ++free_slots[completions.top().site];
+      completions.pop();
+    }
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].submit_hour <= t + 1e-12) {
+      const Job& j = arrivals[next_arrival];
+      waiting.push_back(PendingJob{j, policy.planned_start(j, view)});
+      ++next_arrival;
+    }
+    dispatch();
+  }
+
+  metrics.total_carbon = Mass::grams(total_grams);
+  metrics.transfer_carbon = Mass::grams(transfer_grams);
+  metrics.total_energy = Energy::kilowatt_hours(total_kwh);
+  metrics.mean_wait_hours = stats::mean(waits);
+  metrics.p95_wait_hours = stats::quantile(waits, 0.95);
+  int capacity_total = 0;
+  for (const auto& s : sites_) capacity_total += s.capacity;
+  metrics.utilization =
+      makespan > 0 ? busy_node_hours / (capacity_total * makespan) : 0.0;
+  if (ledger_out != nullptr) *ledger_out = ledger;
+  return metrics;
+}
+
+}  // namespace hpcarbon::sched

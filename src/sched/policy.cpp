@@ -1,0 +1,470 @@
+#include "sched/policy.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <utility>
+
+#include "core/error.h"
+#include "grid/forecast.h"
+
+namespace hpcarbon::sched {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::kFcfsLocal: return "fcfs-local";
+    case Policy::kGreedyLowestCi: return "greedy-lowest-ci";
+    case Policy::kThresholdDelay: return "threshold-delay";
+    case Policy::kBudgetAware: return "budget-aware";
+    case Policy::kForecastDelay: return "forecast-delay";
+    case Policy::kNetBenefit: return "net-benefit";
+    case Policy::kForecastNetBenefit: return "forecast-net-benefit";
+    case Policy::kRenewableCap: return "renewable-cap";
+  }
+  return "?";
+}
+
+double ClusterView::current_ci(std::size_t i) const {
+  return (*sites_)[i].trace_utc.at(hour_at(now())).to_g_per_kwh();
+}
+
+double ClusterView::job_carbon_g(std::size_t i, Power it_power, double start,
+                                 double duration) const {
+  return (*integrators_)[i].carbon_g(it_power.to_kilowatts(),
+                                     epoch_.index() + start, duration);
+}
+
+long ClusterView::lowest_ci_free_site() const {
+  long best = -1;
+  double best_ci = 0;
+  for (std::size_t s = 0; s < sites_->size(); ++s) {
+    if ((*free_slots_)[s] <= 0) continue;
+    const double ci = current_ci(s);
+    // Strict '<': on equal CI the first (lowest-index) free site wins, so
+    // ties are deterministic and home (index 0) is preferred.
+    if (best < 0 || ci < best_ci) {
+      best = static_cast<long>(s);
+      best_ci = ci;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Built-in policies. Each is one small class; the registry entries at the
+// bottom of this file are the only other place a policy appears.
+// ---------------------------------------------------------------------------
+
+/// Everything runs at home, first come first served (carbon-unaware
+/// baseline and the savings denominator of every ablation).
+class FcfsLocalPolicy : public SchedulingPolicy {
+ public:
+  explicit FcfsLocalPolicy(const PolicyConfig&) {}
+  std::string name() const override { return "fcfs-local"; }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (queue.empty() || view.free_slots(0) <= 0) return std::nullopt;
+    return DispatchDecision{0, 0};
+  }
+};
+
+/// At dispatch, take the free site with the lowest current intensity
+/// (cross-region exploitation of Fig. 7), paying the transfer penalty on
+/// remote placement.
+class GreedyLowestCiPolicy : public SchedulingPolicy {
+ public:
+  explicit GreedyLowestCiPolicy(const PolicyConfig&) {}
+  std::string name() const override { return "greedy-lowest-ci"; }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (queue.empty()) return std::nullopt;
+    const long site = view.lowest_ci_free_site();
+    if (site < 0) return std::nullopt;
+    return DispatchDecision{0, static_cast<std::size_t>(site)};
+  }
+};
+
+/// Stay local but defer until the local intensity drops below a threshold
+/// or a maximum delay passes (temporal exploitation of Fig. 6's variance).
+class ThresholdDelayPolicy : public SchedulingPolicy {
+ public:
+  explicit ThresholdDelayPolicy(const PolicyConfig& cfg)
+      : threshold_(cfg.ci_threshold_g_per_kwh),
+        max_delay_(cfg.max_delay_hours) {}
+  std::string name() const override { return "threshold-delay"; }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (view.free_slots(0) <= 0) return std::nullopt;
+    const double ci = view.current_ci(0);
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (ci <= threshold_ ||
+          view.now() - queue[i].job.submit_hour >= max_delay_) {
+        return DispatchDecision{i, 0};
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  double threshold_;
+  double max_delay_;
+};
+
+/// GreedyLowestCi placement with queue priority for users who have been
+/// economical with their carbon budget (the paper's incentive proposal).
+class BudgetAwarePolicy : public SchedulingPolicy {
+ public:
+  explicit BudgetAwarePolicy(const PolicyConfig& cfg)
+      : user_budget_(cfg.user_budget) {}
+  std::string name() const override { return "budget-aware"; }
+  void begin_run(const std::vector<Job>& arrivals, CarbonBudgetLedger& ledger,
+                 const ClusterView&) override {
+    std::set<std::string> users;
+    for (const auto& j : arrivals) users.insert(j.user);
+    for (const auto& u : users) ledger.set_allocation(u, user_budget_);
+  }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (queue.empty()) return std::nullopt;
+    const long site = view.lowest_ci_free_site();
+    if (site < 0) return std::nullopt;
+    // Serve the waiting job whose user has been most economical; strict
+    // '>' keeps the earliest submission ahead on equal priority.
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue.size(); ++i) {
+      if (view.ledger().priority(queue[i].job.user) >
+          view.ledger().priority(queue[best].job.user)) {
+        best = i;
+      }
+    }
+    return DispatchDecision{best, static_cast<std::size_t>(site)};
+  }
+
+ private:
+  Mass user_budget_;
+};
+
+/// On arrival, pick the start offset (within the delay budget) that a
+/// causal diurnal-template forecast of the home grid predicts to be
+/// cleanest over the job's runtime.
+class ForecastDelayPolicy : public SchedulingPolicy {
+ public:
+  explicit ForecastDelayPolicy(const PolicyConfig& cfg)
+      : max_delay_(cfg.max_delay_hours),
+        window_days_(cfg.forecast_window_days) {}
+  std::string name() const override { return "forecast-delay"; }
+  void begin_run(const std::vector<Job>&, CarbonBudgetLedger&,
+                 const ClusterView& view) override {
+    forecast_ = std::make_unique<grid::DiurnalTemplateForecast>(
+        view.site(0).trace_utc, window_days_);
+  }
+  double planned_start(const Job& job, const ClusterView& view) override {
+    const HourOfYear origin = view.hour_at(job.submit_hour);
+    int best_offset = 0;
+    double best_ci = std::numeric_limits<double>::infinity();
+    const int max_w = static_cast<int>(max_delay_);
+    for (int w = 0; w <= max_w; ++w) {
+      const double ci = forecast_->predict_window(origin, w,
+                                                  job.duration_hours);
+      if (ci < best_ci) {
+        best_ci = ci;
+        best_offset = w;
+      }
+    }
+    return job.submit_hour + best_offset;
+  }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (view.free_slots(0) <= 0) return std::nullopt;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      if (view.now() + 1e-12 >= queue[i].earliest_start) {
+        return DispatchDecision{i, 0};
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  double max_delay_;
+  int window_days_;
+  std::unique_ptr<grid::DiurnalTemplateForecast> forecast_;
+};
+
+/// Cross-region dispatch only when the current intensity gap times the
+/// job's energy exceeds the transfer carbon (Insight 7's tradeoff). If
+/// home is full, take the best remote anyway (work conservation).
+class NetBenefitPolicy : public SchedulingPolicy {
+ public:
+  explicit NetBenefitPolicy(const PolicyConfig&) {}
+  std::string name() const override { return "net-benefit"; }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (queue.empty()) return std::nullopt;
+    const long best = view.lowest_ci_free_site();
+    if (best < 0) return std::nullopt;
+    std::size_t site = static_cast<std::size_t>(best);
+    if (view.free_slots(0) > 0 && site != 0) {
+      const Job& j = queue.front().job;
+      const double ci_home = view.current_ci(0);
+      const double ci_away = view.current_ci(site);
+      const double job_kwh =
+          j.it_power.to_kilowatts() * j.duration_hours * view.pue_base();
+      const double saved = (ci_home - ci_away) * job_kwh;
+      const double transfer_cost =
+          view.site(site).transfer_energy.to_kwh() * ci_away;
+      if (saved <= transfer_cost) site = 0;
+    }
+    return DispatchDecision{0, site};
+  }
+};
+
+/// NetBenefit with foresight: each candidate site is priced on a causal
+/// diurnal forecast of its intensity over the job's whole runtime, not the
+/// instantaneous value, so a site that is briefly clean now but trending
+/// dirty loses to one trending clean. Only expressible with per-site
+/// forecasts — the capability the engine/policy split adds.
+class ForecastNetBenefitPolicy : public SchedulingPolicy {
+ public:
+  explicit ForecastNetBenefitPolicy(const PolicyConfig& cfg)
+      : window_days_(cfg.forecast_window_days) {}
+  std::string name() const override { return "forecast-net-benefit"; }
+  void begin_run(const std::vector<Job>&, CarbonBudgetLedger&,
+                 const ClusterView& view) override {
+    forecasts_.clear();
+    for (std::size_t s = 0; s < view.site_count(); ++s) {
+      forecasts_.push_back(std::make_unique<grid::DiurnalTemplateForecast>(
+          view.site(s).trace_utc, window_days_));
+    }
+  }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (queue.empty()) return std::nullopt;
+    const Job& j = queue.front().job;
+    const double job_kwh =
+        j.it_power.to_kilowatts() * j.duration_hours * view.pue_base();
+    const HourOfYear origin = view.hour_at(view.now());
+    long best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < view.site_count(); ++s) {
+      if (view.free_slots(s) <= 0) continue;
+      const double predicted_ci =
+          forecasts_[s]->predict_window(origin, 0, j.duration_hours);
+      const double transfer_g =
+          s == 0 ? 0.0
+                 : view.site(s).transfer_energy.to_kwh() * view.current_ci(s);
+      const double cost = predicted_ci * job_kwh + transfer_g;
+      // Strict '<': equal forecast cost resolves to the lowest site index.
+      if (cost < best_cost) {
+        best = static_cast<long>(s);
+        best_cost = cost;
+      }
+    }
+    if (best < 0) return std::nullopt;
+    return DispatchDecision{0, static_cast<std::size_t>(best)};
+  }
+
+ private:
+  int window_days_;
+  std::vector<std::unique_ptr<grid::DiurnalTemplateForecast>> forecasts_;
+};
+
+/// Throttle dispatch while the rolling emission rate exceeds a cap: a
+/// facility-level carbon budget burned per hour. Jobs still start once
+/// they have waited out `max_delay_hours` (work conservation / fairness),
+/// so the cap shapes *when* carbon is emitted rather than whether work
+/// runs. Needs the on_job_started observer the policy interface adds.
+class RenewableCapPolicy : public SchedulingPolicy {
+ public:
+  explicit RenewableCapPolicy(const PolicyConfig& cfg)
+      : cap_g_per_hour_(cfg.burn_cap_g_per_hour),
+        window_hours_(cfg.burn_window_hours),
+        max_delay_(cfg.max_delay_hours) {
+    HPC_REQUIRE(cap_g_per_hour_ > 0, "burn cap must be positive");
+    HPC_REQUIRE(window_hours_ > 0, "burn window must be positive");
+  }
+  std::string name() const override { return "renewable-cap"; }
+  void begin_run(const std::vector<Job>&, CarbonBudgetLedger&,
+                 const ClusterView&) override {
+    recent_.clear();
+  }
+  void on_job_started(const Job&, std::size_t, double carbon_g,
+                      const ClusterView& view) override {
+    recent_.emplace_back(view.now(), carbon_g);
+  }
+  std::optional<DispatchDecision> select(const std::vector<PendingJob>& queue,
+                                         const ClusterView& view) override {
+    if (view.free_slots(0) <= 0) return std::nullopt;
+    while (!recent_.empty() &&
+           recent_.front().first < view.now() - window_hours_) {
+      recent_.pop_front();
+    }
+    double window_g = 0;
+    for (const auto& [when, grams] : recent_) {
+      (void)when;
+      window_g += grams;
+    }
+    const bool over_cap = window_g / window_hours_ > cap_g_per_hour_;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      const bool overdue =
+          view.now() - queue[i].job.submit_hour >= max_delay_;
+      if (!over_cap || overdue) return DispatchDecision{i, 0};
+    }
+    return std::nullopt;
+  }
+
+ private:
+  double cap_g_per_hour_;
+  double window_hours_;
+  double max_delay_;
+  std::deque<std::pair<double, double>> recent_;  // (start time, grams)
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+struct Registry {
+  std::mutex mu;
+  std::vector<PolicyDescriptor> entries;  // registration order
+};
+
+Registry& registry() {
+  static Registry r;  // constructed on first use; safe from static registrars
+  return r;
+}
+
+}  // namespace
+
+void register_policy(PolicyDescriptor descriptor) {
+  HPC_REQUIRE(!descriptor.name.empty() && descriptor.make != nullptr,
+              "policy descriptor needs a name and a factory");
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (auto& e : r.entries) {
+    if (e.name == descriptor.name) {
+      e = std::move(descriptor);
+      return;
+    }
+  }
+  r.entries.push_back(std::move(descriptor));
+}
+
+std::vector<PolicyDescriptor> registered_policies() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.entries;
+}
+
+std::optional<PolicyDescriptor> find_policy(const std::string& name_or_short) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (const auto& e : r.entries) {
+    if (e.name == name_or_short || e.short_name == name_or_short) return e;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const std::string& name,
+                                              const PolicyConfig& cfg) {
+  const std::optional<PolicyDescriptor> desc = find_policy(name);
+  if (!desc.has_value()) {
+    std::string known;
+    for (const auto& e : registered_policies()) {
+      known += (known.empty() ? "" : ", ") + e.name;
+    }
+    throw Error("unknown policy '" + name + "' (known: " + known + ")");
+  }
+  return desc->make(cfg);
+}
+
+std::unique_ptr<SchedulingPolicy> make_policy(const PolicyConfig& cfg) {
+  return make_policy(to_string(cfg.policy), cfg);
+}
+
+// Built-in registrations, in Policy-enum order (this order is what
+// `hpcarbon policies`, policy_names(), and the ablation matrix report).
+HPCARBON_REGISTER_POLICY(
+    fcfs_local, "fcfs-local", "fcfs",
+    "Run everything at the home site, first come first served "
+    "(carbon-unaware baseline)",
+    {}, [](const PolicyConfig& cfg) {
+      return std::make_unique<FcfsLocalPolicy>(cfg);
+    })
+
+HPCARBON_REGISTER_POLICY(
+    greedy_lowest_ci, "greedy-lowest-ci", "greedy",
+    "Dispatch to the free site with the lowest current carbon intensity",
+    {}, [](const PolicyConfig& cfg) {
+      return std::make_unique<GreedyLowestCiPolicy>(cfg);
+    })
+
+HPCARBON_REGISTER_POLICY(
+    threshold_delay, "threshold-delay", "threshold",
+    "Defer locally until CI drops below a threshold or the delay budget "
+    "expires",
+    ({{"ci_threshold_g_per_kwh", "run when local CI is at or below this",
+       PolicyConfig{}.ci_threshold_g_per_kwh},
+      {"max_delay_hours", "hard cap on added queue delay",
+       PolicyConfig{}.max_delay_hours}}),
+    [](const PolicyConfig& cfg) {
+      return std::make_unique<ThresholdDelayPolicy>(cfg);
+    })
+
+HPCARBON_REGISTER_POLICY(
+    budget_aware, "budget-aware", "budget",
+    "Greedy placement; queue priority for users economical with their "
+    "carbon budget",
+    ({{"user_budget (kg)", "per-user allocation for the horizon",
+       PolicyConfig{}.user_budget.to_kilograms()}}),
+    [](const PolicyConfig& cfg) {
+      return std::make_unique<BudgetAwarePolicy>(cfg);
+    })
+
+HPCARBON_REGISTER_POLICY(
+    forecast_delay, "forecast-delay", "forecast",
+    "Plan each start at the offset a causal diurnal forecast predicts "
+    "cleanest",
+    ({{"max_delay_hours", "start-offset search window",
+       PolicyConfig{}.max_delay_hours},
+      {"forecast_window_days", "trailing days feeding the diurnal template",
+       static_cast<double>(PolicyConfig{}.forecast_window_days)}}),
+    [](const PolicyConfig& cfg) {
+      return std::make_unique<ForecastDelayPolicy>(cfg);
+    })
+
+HPCARBON_REGISTER_POLICY(
+    net_benefit, "net-benefit", "net-benefit",
+    "Go remote only when the CI gap times job energy beats the transfer "
+    "carbon",
+    {}, [](const PolicyConfig& cfg) {
+      return std::make_unique<NetBenefitPolicy>(cfg);
+    })
+
+HPCARBON_REGISTER_POLICY(
+    forecast_net_benefit, "forecast-net-benefit", "forecast-nb",
+    "Net-benefit dispatch priced on per-site forecasts over the job's "
+    "runtime",
+    ({{"forecast_window_days", "trailing days feeding the diurnal template",
+       static_cast<double>(PolicyConfig{}.forecast_window_days)}}),
+    [](const PolicyConfig& cfg) {
+      return std::make_unique<ForecastNetBenefitPolicy>(cfg);
+    })
+
+HPCARBON_REGISTER_POLICY(
+    renewable_cap, "renewable-cap", "cap",
+    "Throttle dispatch while the rolling emission rate exceeds a burn cap",
+    ({{"burn_cap_g_per_hour", "rolling emission-rate ceiling",
+       PolicyConfig{}.burn_cap_g_per_hour},
+      {"burn_window_hours", "window the burn rate is averaged over",
+       PolicyConfig{}.burn_window_hours},
+      {"max_delay_hours", "fairness guard: start anyway after this wait",
+       PolicyConfig{}.max_delay_hours}}),
+    [](const PolicyConfig& cfg) {
+      return std::make_unique<RenewableCapPolicy>(cfg);
+    })
+
+}  // namespace hpcarbon::sched

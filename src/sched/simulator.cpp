@@ -1,84 +1,10 @@
 #include "sched/simulator.h"
 
-#include <algorithm>
-#include <cmath>
-#include <deque>
-#include <memory>
-#include <queue>
-#include <set>
-#include <sstream>
-
-#include "core/error.h"
-#include "core/stats.h"
-#include "grid/forecast.h"
-
 namespace hpcarbon::sched {
-
-const char* to_string(Policy p) {
-  switch (p) {
-    case Policy::kFcfsLocal: return "fcfs-local";
-    case Policy::kGreedyLowestCi: return "greedy-lowest-ci";
-    case Policy::kThresholdDelay: return "threshold-delay";
-    case Policy::kBudgetAware: return "budget-aware";
-    case Policy::kForecastDelay: return "forecast-delay";
-    case Policy::kNetBenefit: return "net-benefit";
-  }
-  return "?";
-}
-
-std::string ScheduleMetrics::to_string() const {
-  std::ostringstream out;
-  out << "carbon " << hpcarbon::to_string(total_carbon) << " (transfer "
-      << hpcarbon::to_string(transfer_carbon) << "), energy "
-      << hpcarbon::to_string(total_energy) << ", mean wait "
-      << mean_wait_hours << " h, p95 wait " << p95_wait_hours
-      << " h, utilization " << utilization << ", jobs " << jobs_completed
-      << ", remote " << remote_dispatches;
-  return out.str();
-}
 
 SchedulerSimulator::SchedulerSimulator(std::vector<Site> sites,
                                        HourOfYear epoch, op::PueModel pue)
-    : sites_(std::move(sites)), epoch_(epoch), pue_(pue) {
-  HPC_REQUIRE(!sites_.empty(), "need at least one site");
-  for (const auto& s : sites_) {
-    HPC_REQUIRE(s.capacity > 0, "site capacity must be positive");
-  }
-}
-
-namespace {
-
-// Carbon of a constant-power interval [t, t+d) (global fractional hours),
-// priced hour-by-hour on the site's UTC trace.
-double interval_carbon_g(const Site& site, HourOfYear epoch, double t,
-                         double d, Power power, const op::PueModel& pue) {
-  double grams = 0;
-  double remaining = d;
-  double cursor = t;
-  const double kw = power.to_kilowatts();
-  while (remaining > 1e-12) {
-    const double hour_end = std::floor(cursor) + 1.0;
-    const double step = std::min(remaining, hour_end - cursor);
-    const HourOfYear h = epoch.shifted(static_cast<int>(std::floor(cursor)));
-    grams += site.trace_utc.at(h).to_g_per_kwh() * kw * step * pue.at(h);
-    cursor += step;
-    remaining -= step;
-  }
-  return grams;
-}
-
-double current_ci(const Site& site, HourOfYear epoch, double t) {
-  const HourOfYear h = epoch.shifted(static_cast<int>(std::floor(t)));
-  return site.trace_utc.at(h).to_g_per_kwh();
-}
-
-struct Completion {
-  double time;
-  std::size_t site;
-  bool operator>(const Completion& o) const { return time > o.time; }
-};
-
-}  // namespace
+    : engine_(std::move(sites), epoch, pue) {}
 
 ScheduleMetrics SchedulerSimulator::run(const std::vector<Job>& jobs,
                                         const PolicyConfig& cfg) {
@@ -89,251 +15,8 @@ ScheduleMetrics SchedulerSimulator::run(const std::vector<Job>& jobs,
                                         const PolicyConfig& cfg,
                                         std::vector<JobOutcome>* outcomes,
                                         CarbonBudgetLedger* ledger_out) {
-  HPC_REQUIRE(!jobs.empty(), "no jobs to schedule");
-  std::vector<Job> arrivals(jobs);
-  std::sort(arrivals.begin(), arrivals.end(),
-            [](const Job& a, const Job& b) { return a.submit_hour < b.submit_hour; });
-
-  CarbonBudgetLedger ledger;
-  if (cfg.policy == Policy::kBudgetAware) {
-    std::set<std::string> users;
-    for (const auto& j : arrivals) users.insert(j.user);
-    for (const auto& u : users) ledger.set_allocation(u, cfg.user_budget);
-  }
-
-  // Causal forecast of the home grid, used by ForecastDelay to plan starts.
-  std::unique_ptr<grid::DiurnalTemplateForecast> forecast;
-  if (cfg.policy == Policy::kForecastDelay) {
-    forecast = std::make_unique<grid::DiurnalTemplateForecast>(
-        sites_[0].trace_utc, cfg.forecast_window_days);
-  }
-
-  std::vector<int> free_slots;
-  for (const auto& s : sites_) free_slots.push_back(s.capacity);
-
-  struct Pending {
-    Job job;
-    double earliest_start;
-  };
-  std::deque<Pending> waiting;
-  std::priority_queue<Completion, std::vector<Completion>, std::greater<>>
-      completions;
-
-  ScheduleMetrics metrics;
-  std::vector<double> waits;
-  double busy_node_hours = 0;
-  double makespan = 0;
-  double total_grams = 0;
-  double transfer_grams = 0;
-  double total_kwh = 0;
-
-  std::size_t next_arrival = 0;
-  double t = 0;
-
-  auto pick_lowest_ci_site = [&](double now) -> long {
-    long best = -1;
-    double best_ci = 0;
-    for (std::size_t s = 0; s < sites_.size(); ++s) {
-      if (free_slots[s] <= 0) continue;
-      const double ci = current_ci(sites_[s], epoch_, now);
-      if (best < 0 || ci < best_ci) {
-        best = static_cast<long>(s);
-        best_ci = ci;
-      }
-    }
-    return best;
-  };
-
-  auto start_job = [&](const Job& j, std::size_t site, double now) {
-    --free_slots[site];
-    completions.push(Completion{now + j.duration_hours, site});
-    double grams = interval_carbon_g(sites_[site], epoch_, now,
-                                     j.duration_hours, j.it_power, pue_);
-    const double kwh =
-        j.it_power.to_kilowatts() * j.duration_hours * pue_.base();
-    double tgrams = 0;
-    if (site != 0) {
-      ++metrics.remote_dispatches;
-      tgrams = sites_[site].transfer_energy.to_kwh() *
-               current_ci(sites_[site], epoch_, now);
-      total_kwh += sites_[site].transfer_energy.to_kwh();
-    }
-    total_grams += grams + tgrams;
-    transfer_grams += tgrams;
-    total_kwh += kwh;
-    busy_node_hours += j.duration_hours;
-    makespan = std::max(makespan, now + j.duration_hours);
-    const double wait = now - j.submit_hour;
-    waits.push_back(wait);
-    ledger.charge(j.user, Mass::grams(grams + tgrams));
-    if (outcomes != nullptr) {
-      outcomes->push_back(JobOutcome{j.id, sites_[site].code, now, wait,
-                                     Mass::grams(grams + tgrams)});
-    }
-    ++metrics.jobs_completed;
-  };
-
-  // ForecastDelay: choose the start offset (whole hours within the delay
-  // budget) whose predicted window-average intensity is lowest.
-  auto planned_start = [&](const Job& j) {
-    if (cfg.policy != Policy::kForecastDelay) return j.submit_hour;
-    const HourOfYear origin =
-        epoch_.shifted(static_cast<int>(std::floor(j.submit_hour)));
-    int best_offset = 0;
-    double best_ci = std::numeric_limits<double>::infinity();
-    const int max_w = static_cast<int>(cfg.max_delay_hours);
-    for (int w = 0; w <= max_w; ++w) {
-      const double ci =
-          forecast->predict_window(origin, w, j.duration_hours);
-      if (ci < best_ci) {
-        best_ci = ci;
-        best_offset = w;
-      }
-    }
-    return j.submit_hour + best_offset;
-  };
-
-  auto dispatch = [&](double now) {
-    while (!waiting.empty()) {
-      switch (cfg.policy) {
-        case Policy::kFcfsLocal: {
-          if (free_slots[0] <= 0) return;
-          Job j = waiting.front().job;
-          waiting.pop_front();
-          start_job(j, 0, now);
-          break;
-        }
-        case Policy::kGreedyLowestCi: {
-          const long site = pick_lowest_ci_site(now);
-          if (site < 0) return;
-          Job j = waiting.front().job;
-          waiting.pop_front();
-          start_job(j, static_cast<std::size_t>(site), now);
-          break;
-        }
-        case Policy::kNetBenefit: {
-          // Prefer home; move only when the intensity gap pays for the
-          // transfer. If home is full, take the best remote anyway (work
-          // conservation); if nothing is free, wait.
-          const long best = pick_lowest_ci_site(now);
-          if (best < 0) return;
-          long site = best;
-          if (free_slots[0] > 0 && best != 0) {
-            const Job& j = waiting.front().job;
-            const double ci_home = current_ci(sites_[0], epoch_, now);
-            const double ci_away =
-                current_ci(sites_[static_cast<std::size_t>(best)], epoch_, now);
-            const double job_kwh =
-                j.it_power.to_kilowatts() * j.duration_hours * pue_.base();
-            const double saved = (ci_home - ci_away) * job_kwh;
-            const double transfer_cost =
-                sites_[static_cast<std::size_t>(best)].transfer_energy.to_kwh() *
-                ci_away;
-            if (saved <= transfer_cost) site = 0;
-          }
-          Job j = waiting.front().job;
-          waiting.pop_front();
-          start_job(j, static_cast<std::size_t>(site), now);
-          break;
-        }
-        case Policy::kBudgetAware: {
-          const long site = pick_lowest_ci_site(now);
-          if (site < 0) return;
-          // Serve the waiting job whose user has been most economical.
-          auto best = waiting.begin();
-          for (auto it = waiting.begin(); it != waiting.end(); ++it) {
-            if (ledger.priority(it->job.user) >
-                ledger.priority(best->job.user)) {
-              best = it;
-            }
-          }
-          Job j = best->job;
-          waiting.erase(best);
-          start_job(j, static_cast<std::size_t>(site), now);
-          break;
-        }
-        case Policy::kThresholdDelay: {
-          if (free_slots[0] <= 0) return;
-          const double ci = current_ci(sites_[0], epoch_, now);
-          auto eligible = waiting.end();
-          for (auto it = waiting.begin(); it != waiting.end(); ++it) {
-            if (ci <= cfg.ci_threshold_g_per_kwh ||
-                now - it->job.submit_hour >= cfg.max_delay_hours) {
-              eligible = it;
-              break;
-            }
-          }
-          if (eligible == waiting.end()) return;
-          Job j = eligible->job;
-          waiting.erase(eligible);
-          start_job(j, 0, now);
-          break;
-        }
-        case Policy::kForecastDelay: {
-          if (free_slots[0] <= 0) return;
-          auto eligible = waiting.end();
-          for (auto it = waiting.begin(); it != waiting.end(); ++it) {
-            if (now + 1e-12 >= it->earliest_start) {
-              eligible = it;
-              break;
-            }
-          }
-          if (eligible == waiting.end()) return;
-          Job j = eligible->job;
-          waiting.erase(eligible);
-          start_job(j, 0, now);
-          break;
-        }
-      }
-    }
-  };
-
-  // Event loop: arrivals, completions, hourly ticks (so the delay policies
-  // re-evaluate as the grid's intensity moves), and planned start times.
-  while (next_arrival < arrivals.size() || !completions.empty() ||
-         !waiting.empty()) {
-    double next_time = std::numeric_limits<double>::infinity();
-    if (next_arrival < arrivals.size()) {
-      next_time = std::min(next_time, arrivals[next_arrival].submit_hour);
-    }
-    if (!completions.empty()) {
-      next_time = std::min(next_time, completions.top().time);
-    }
-    if (!waiting.empty()) {
-      next_time = std::min(next_time, std::floor(t) + 1.0);  // next tick
-      for (const auto& p : waiting) {
-        if (p.earliest_start > t) {
-          next_time = std::min(next_time, p.earliest_start);
-        }
-      }
-    }
-    HPC_REQUIRE(std::isfinite(next_time), "scheduler deadlock");
-    t = std::max(t, next_time);
-
-    while (!completions.empty() && completions.top().time <= t + 1e-12) {
-      ++free_slots[completions.top().site];
-      completions.pop();
-    }
-    while (next_arrival < arrivals.size() &&
-           arrivals[next_arrival].submit_hour <= t + 1e-12) {
-      const Job& j = arrivals[next_arrival];
-      waiting.push_back(Pending{j, planned_start(j)});
-      ++next_arrival;
-    }
-    dispatch(t);
-  }
-
-  metrics.total_carbon = Mass::grams(total_grams);
-  metrics.transfer_carbon = Mass::grams(transfer_grams);
-  metrics.total_energy = Energy::kilowatt_hours(total_kwh);
-  metrics.mean_wait_hours = stats::mean(waits);
-  metrics.p95_wait_hours = stats::quantile(waits, 0.95);
-  int capacity_total = 0;
-  for (const auto& s : sites_) capacity_total += s.capacity;
-  metrics.utilization =
-      makespan > 0 ? busy_node_hours / (capacity_total * makespan) : 0.0;
-  if (ledger_out != nullptr) *ledger_out = ledger;
-  return metrics;
+  const auto policy = make_policy(cfg);
+  return engine_.run(jobs, *policy, outcomes, ledger_out);
 }
 
 }  // namespace hpcarbon::sched

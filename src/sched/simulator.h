@@ -1,26 +1,12 @@
-// Discrete-event multi-site scheduler simulator.
+// Legacy facade over the engine/policy split.
 //
-// Policies compared by the ablation bench (Sec. 4 implications):
-//  * FcfsLocal       — run everything at the home site, first come first
-//                      served (the carbon-unaware baseline).
-//  * GreedyLowestCi  — at dispatch, choose the free site with the lowest
-//                      current carbon intensity (cross-region exploitation
-//                      of Fig. 7), paying a data-transfer energy penalty on
-//                      remote placement.
-//  * ThresholdDelay  — stay local but defer start until the local intensity
-//                      drops below a threshold or a maximum delay passes
-//                      (temporal exploitation of Fig. 6's variance).
-//  * BudgetAware     — GreedyLowestCi ordering, with queue priority for
-//                      users who have been economical with their carbon
-//                      budget (the paper's incentive-structure proposal).
-//  * ForecastDelay   — on arrival, pick the start offset (within the delay
-//                      budget) that a causal diurnal-template forecast of
-//                      the home grid predicts to be cleanest over the job's
-//                      runtime; extends ThresholdDelay with the forecasting
-//                      support the paper says production schedulers need.
-//  * NetBenefit      — cross-region dispatch only when the intensity gap
-//                      times the job's energy exceeds the transfer carbon:
-//                      the explicit tradeoff of Insight 7.
+// The scheduler used to be one monolithic class; it is now three layers —
+// SchedulingEngine (sched/engine.h) owns the discrete-event mechanism,
+// SchedulingPolicy subclasses (sched/policy.h) own the decisions, and a
+// string-keyed registry makes the set of policies open. This header keeps
+// the original enum-configured surface working: SchedulerSimulator::run
+// resolves PolicyConfig::policy through the registry and delegates to the
+// engine, reproducing the pre-split behaviour policy for policy.
 #pragma once
 
 #include <string>
@@ -30,54 +16,11 @@
 #include "core/units.h"
 #include "op/pue.h"
 #include "sched/budget.h"
+#include "sched/engine.h"
 #include "sched/job.h"
+#include "sched/policy.h"
 
 namespace hpcarbon::sched {
-
-enum class Policy {
-  kFcfsLocal,
-  kGreedyLowestCi,
-  kThresholdDelay,
-  kBudgetAware,
-  kForecastDelay,
-  kNetBenefit,
-};
-const char* to_string(Policy p);
-
-struct PolicyConfig {
-  Policy policy = Policy::kFcfsLocal;
-  /// ThresholdDelay: run when local CI <= threshold…
-  double ci_threshold_g_per_kwh = 150.0;
-  /// …or when the job has waited this long (also the ForecastDelay search
-  /// window).
-  double max_delay_hours = 12.0;
-  /// BudgetAware: per-user allocation for the simulated horizon.
-  Mass user_budget = Mass::kilograms(200);
-  /// ForecastDelay: trailing window of the diurnal template, days.
-  int forecast_window_days = 14;
-};
-
-struct ScheduleMetrics {
-  Mass total_carbon;       // compute + transfer
-  Mass transfer_carbon;
-  Energy total_energy;     // facility side
-  double mean_wait_hours = 0;
-  double p95_wait_hours = 0;
-  double utilization = 0;  // busy node-hours / available node-hours
-  int jobs_completed = 0;
-  int remote_dispatches = 0;
-
-  std::string to_string() const;
-};
-
-/// Per-job outcome (for tests and detailed reporting).
-struct JobOutcome {
-  int job_id = 0;
-  std::string site;
-  double start_hour = 0;
-  double wait_hours = 0;
-  Mass carbon;
-};
 
 class SchedulerSimulator {
  public:
@@ -86,6 +29,8 @@ class SchedulerSimulator {
   SchedulerSimulator(std::vector<Site> sites, HourOfYear epoch,
                      op::PueModel pue = op::PueModel());
 
+  /// Run cfg.policy through the engine. An empty workload yields
+  /// zero-valued metrics.
   ScheduleMetrics run(const std::vector<Job>& jobs, const PolicyConfig& cfg);
   /// As run(), and also returns per-job outcomes (parallel to completion
   /// order) and the final budget ledger via out-parameters when non-null.
@@ -93,10 +38,11 @@ class SchedulerSimulator {
                       std::vector<JobOutcome>* outcomes,
                       CarbonBudgetLedger* ledger_out);
 
+  /// The underlying engine (per-site O(1) carbon integrators included).
+  SchedulingEngine& engine() { return engine_; }
+
  private:
-  std::vector<Site> sites_;
-  HourOfYear epoch_;
-  op::PueModel pue_;
+  SchedulingEngine engine_;
 };
 
 }  // namespace hpcarbon::sched

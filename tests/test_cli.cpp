@@ -58,16 +58,20 @@ TEST(ScenarioRunner, KnownRegionsAndPolicies) {
   const auto codes = region_codes();
   ASSERT_EQ(codes.size(), 7u);
   EXPECT_NE(std::find(codes.begin(), codes.end(), "ESO"), codes.end());
-  EXPECT_EQ(policy_names().size(), 6u);
-  EXPECT_EQ(parse_policy("greedy"), sched::Policy::kGreedyLowestCi);
-  EXPECT_EQ(parse_policy("greedy-lowest-ci"), sched::Policy::kGreedyLowestCi);
+  // Eight built-ins come from the policy registry (six refactored + the
+  // two registry-era additions).
+  EXPECT_EQ(policy_names().size(), 8u);
+  EXPECT_EQ(parse_policy("greedy"), "greedy-lowest-ci");
+  EXPECT_EQ(parse_policy("greedy-lowest-ci"), "greedy-lowest-ci");
+  EXPECT_EQ(parse_policy("cap"), "renewable-cap");
+  EXPECT_EQ(parse_policy("forecast-nb"), "forecast-net-benefit");
   EXPECT_THROW(parse_policy("warp-drive"), Error);
 }
 
 TEST(ScenarioRunner, SweepProducesFullMatrixWithBaseline) {
   ScenarioOptions opts;
   opts.regions = {"ESO", "ERCOT"};
-  opts.policies = {sched::Policy::kGreedyLowestCi};
+  opts.policies = {"greedy"};  // short names resolve through the registry
   opts.horizon_days = 7;
   opts.arrival_rate_per_hour = 1.0;
 

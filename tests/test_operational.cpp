@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/error.h"
 
 namespace hpcarbon::op {
@@ -88,6 +90,55 @@ TEST(Operational, EffectiveIntensityIsWindowMean) {
   EXPECT_NEAR(effective_intensity(trace, HourOfYear(0), Hours::hours(2))
                   .to_g_per_kwh(),
               200.0, 1e-9);
+}
+
+TEST(Operational, IntegratorMatchesHourSteppingWithSeasonalPue) {
+  // The PUE-weighted prefix sums must reproduce the per-hour integration
+  // (trace CI x seasonal PUE) within 1e-9 relative, fractional starts and
+  // year wrap included.
+  std::vector<double> v(kHoursPerYear);
+  for (int i = 0; i < kHoursPerYear; ++i) {
+    v[static_cast<std::size_t>(i)] = 100.0 + (i % 31) * 13.0;
+  }
+  const grid::CarbonIntensityTrace trace("X", kUtc, v);
+  const PueModel pue(1.3, 0.1, 200);  // seasonal swing
+  const CarbonIntegrator integrator(trace, pue);
+  const double kw = 2.5;
+  for (double start : {0.0, 1234.75, kHoursPerYear - 3.5}) {
+    for (double d : {0.25, 7.0, 500.5}) {
+      // Reference: step sub-hour intervals exactly as the scheduler's old
+      // pricing loop did.
+      double expected = 0;
+      double remaining = d;
+      double cursor = start;
+      while (remaining > 1e-12) {
+        const double hour_end = std::floor(cursor) + 1.0;
+        const double step = std::min(remaining, hour_end - cursor);
+        const HourOfYear h(static_cast<int>(std::floor(cursor)) %
+                           kHoursPerYear);
+        expected += trace.at(h).to_g_per_kwh() * kw * step * pue.at(h);
+        cursor += step;
+        remaining -= step;
+      }
+      EXPECT_NEAR(integrator.carbon_g(kw, start, d), expected,
+                  1e-9 * std::max(1.0, expected))
+          << "start=" << start << " d=" << d;
+      EXPECT_NEAR(integrator.carbon(Power::kilowatts(kw), start, d).to_grams(),
+                  integrator.carbon_g(kw, start, d), 1e-12);
+    }
+  }
+}
+
+TEST(Operational, ConstantPueFastPathMatchesIntegrator) {
+  std::vector<double> v(kHoursPerYear, 100.0);
+  v[5] = 700.0;
+  const grid::CarbonIntensityTrace trace("X", kUtc, v);
+  const PueModel pue(1.2);
+  const CarbonIntegrator integrator(trace, pue);
+  const Mass direct = operational_carbon(Power::kilowatts(3), trace,
+                                         HourOfYear(4), Hours::hours(3), pue);
+  EXPECT_NEAR(direct.to_grams(), integrator.carbon_g(3.0, 4.0, 3.0), 1e-9);
+  EXPECT_NEAR(direct.to_grams(), 3.0 * 1.2 * (100.0 + 700.0 + 100.0), 1e-9);
 }
 
 TEST(Operational, GreenerGridMeansLessCarbonSameEnergy) {

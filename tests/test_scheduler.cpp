@@ -232,9 +232,55 @@ TEST(Scheduler, Validation) {
   EXPECT_THROW(SchedulerSimulator({}, HourOfYear(0)), Error);
   std::vector<Site> sites = {make_site("A", constant_trace("A", 100.0), 0)};
   EXPECT_THROW(SchedulerSimulator(sites, HourOfYear(0)), Error);
+}
+
+TEST(Scheduler, EmptyWorkloadYieldsZeroMetrics) {
+  // Regression: registry-driven sweeps over generated workloads may produce
+  // zero jobs on a quiet horizon; that must report all-zero metrics, not
+  // abort.
   std::vector<Site> ok = {make_site("A", constant_trace("A", 100.0), 2)};
   SchedulerSimulator sim(ok, HourOfYear(0));
-  EXPECT_THROW(sim.run({}, PolicyConfig{}), Error);
+  for (Policy p : {Policy::kFcfsLocal, Policy::kGreedyLowestCi,
+                   Policy::kThresholdDelay, Policy::kBudgetAware,
+                   Policy::kForecastDelay, Policy::kNetBenefit,
+                   Policy::kForecastNetBenefit, Policy::kRenewableCap}) {
+    PolicyConfig cfg;
+    cfg.policy = p;
+    std::vector<JobOutcome> outcomes;
+    CarbonBudgetLedger ledger;
+    const auto m = sim.run({}, cfg, &outcomes, &ledger);
+    EXPECT_EQ(m.jobs_completed, 0) << to_string(p);
+    EXPECT_EQ(m.remote_dispatches, 0) << to_string(p);
+    EXPECT_DOUBLE_EQ(m.total_carbon.to_grams(), 0.0) << to_string(p);
+    EXPECT_DOUBLE_EQ(m.total_energy.to_kwh(), 0.0) << to_string(p);
+    EXPECT_DOUBLE_EQ(m.mean_wait_hours, 0.0) << to_string(p);
+    EXPECT_DOUBLE_EQ(m.utilization, 0.0) << to_string(p);
+    EXPECT_TRUE(outcomes.empty()) << to_string(p);
+  }
+}
+
+TEST(Scheduler, LowestCiTieBreaksToLowestSiteIndex) {
+  // Equal-CI sites must resolve to the lowest index — home before remotes,
+  // earlier remote before later — independent of policy, so ablation CSVs
+  // are reproducible run-to-run. With three identical traces every dispatch
+  // must stay home (index 0): zero remote dispatches and zero transfer
+  // carbon for every site-choosing policy.
+  std::vector<Site> sites = {make_site("A", constant_trace("A", 100.0), 4),
+                             make_site("B", constant_trace("B", 100.0), 4),
+                             make_site("C", constant_trace("C", 100.0), 4)};
+  SchedulerSimulator sim(sites, HourOfYear(0), op::PueModel(1.0));
+  for (Policy p : {Policy::kGreedyLowestCi, Policy::kBudgetAware,
+                   Policy::kNetBenefit, Policy::kForecastNetBenefit}) {
+    PolicyConfig cfg;
+    cfg.policy = p;
+    std::vector<JobOutcome> outcomes;
+    const auto m = sim.run(simple_jobs(6), cfg, &outcomes, nullptr);
+    EXPECT_EQ(m.remote_dispatches, 0) << to_string(p);
+    EXPECT_DOUBLE_EQ(m.transfer_carbon.to_grams(), 0.0) << to_string(p);
+    for (const auto& o : outcomes) {
+      EXPECT_EQ(o.site, "A") << to_string(p) << " job " << o.job_id;
+    }
+  }
 }
 
 TEST(Scheduler, PolicyNames) {

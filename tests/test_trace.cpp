@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <numeric>
 #include <vector>
 
 #include "core/error.h"
+#include "core/rng.h"
 
 namespace hpcarbon::grid {
 namespace {
@@ -56,6 +58,86 @@ TEST(Trace, ToSameZoneIsIdentity) {
   const CarbonIntensityTrace t("X", kGmt, ramp_values());
   const auto u = t.to_time_zone(kGmt);
   EXPECT_EQ(u.values(), t.values());
+}
+
+// Reference for the prefix-sum property tests: the hour-stepping integral
+// the trace used before prefix sums, fractional endpoints included.
+double hour_stepping_sum(const std::vector<double>& v, double start,
+                         double duration) {
+  double acc = 0;
+  double remaining = duration;
+  double cursor = start;
+  while (remaining > 1e-12) {
+    const double hour_end = std::floor(cursor) + 1.0;
+    const double step = std::min(remaining, hour_end - cursor);
+    const int idx = static_cast<int>(std::floor(cursor)) % kHoursPerYear;
+    acc += v[static_cast<std::size_t>(idx)] * step;
+    cursor += step;
+    remaining -= step;
+  }
+  return acc;
+}
+
+TEST(Trace, IntervalSumMatchesHourSteppingOnRandomIntervals) {
+  // Property: O(1) prefix-sum interval carbon == the hour-stepping loop it
+  // replaced, within 1e-9 relative, on random fractional intervals
+  // including the year-boundary wrap.
+  Rng rng(99);
+  std::vector<double> v(kHoursPerYear);
+  for (auto& x : v) x = rng.uniform(5.0, 900.0);
+  const CarbonIntensityTrace t("X", kUtc, v);
+  for (int i = 0; i < 500; ++i) {
+    const double start = rng.uniform(0.0, kHoursPerYear);
+    const double duration = rng.uniform(0.01, 2.0 * kHoursPerYear);
+    const double expected = hour_stepping_sum(v, start, duration);
+    const double actual = t.interval_sum(start, duration);
+    EXPECT_NEAR(actual, expected, 1e-9 * std::max(1.0, std::abs(expected)))
+        << "start=" << start << " duration=" << duration;
+  }
+}
+
+TEST(Trace, IntervalSumWrapsYearBoundary) {
+  auto v = ramp_values();  // value i at hour i
+  const CarbonIntensityTrace t("X", kUtc, v);
+  // Last half of hour 8759 plus first half of hour 0.
+  EXPECT_NEAR(t.interval_sum(kHoursPerYear - 0.5, 1.0),
+              0.5 * (kHoursPerYear - 1) + 0.5 * 0.0, 1e-9);
+  // A full year from any phase equals the annual total.
+  const double annual = t.interval_sum(0, kHoursPerYear);
+  EXPECT_NEAR(t.interval_sum(1234.25, kHoursPerYear), annual, 1e-6);
+  // Negative start hours wrap backwards.
+  EXPECT_NEAR(t.interval_sum(-1.0, 1.0), kHoursPerYear - 1.0, 1e-9);
+}
+
+TEST(Trace, IntervalSumMultiYearDurations) {
+  const CarbonIntensityTrace t("X", kUtc,
+                               std::vector<double>(kHoursPerYear, 2.0));
+  EXPECT_NEAR(t.interval_sum(100.5, 3.0 * kHoursPerYear + 12.0),
+              2.0 * (3.0 * kHoursPerYear + 12.0), 1e-6);
+  EXPECT_DOUBLE_EQ(t.interval_sum(42.0, 0.0), 0.0);
+}
+
+TEST(Trace, IntervalSumValidation) {
+  const CarbonIntensityTrace t("X", kUtc, ramp_values());
+  EXPECT_THROW(t.interval_sum(0.0, -1.0), Error);
+  EXPECT_THROW(t.interval_sum(std::numeric_limits<double>::quiet_NaN(), 1.0),
+               Error);
+  EXPECT_THROW(HourlyPrefixSum({1.0, 2.0}), Error);
+  EXPECT_THROW(HourlyPrefixSum{}.integral(0.0, 1.0), Error);
+}
+
+TEST(Trace, MeanOverAgreesWithIntervalSum) {
+  Rng rng(7);
+  std::vector<double> v(kHoursPerYear);
+  for (auto& x : v) x = rng.uniform(10.0, 600.0);
+  const CarbonIntensityTrace t("X", kUtc, v);
+  for (int start : {0, 4000, kHoursPerYear - 2}) {
+    for (double d : {1.0, 1.5, 26.0, 8760.0}) {
+      EXPECT_NEAR(t.mean_over(HourOfYear(start), Hours::hours(d))
+                      .to_g_per_kwh(),
+                  t.interval_sum(start, d) / d, 1e-9);
+    }
+  }
 }
 
 TEST(Trace, MeanOverWindow) {
