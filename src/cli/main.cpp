@@ -16,6 +16,7 @@
 
 #include "cli/registry.h"
 #include "cli/scenario_runner.h"
+#include "cli/sweep.h"
 #include "core/csv.h"
 #include "core/error.h"
 #include "core/table.h"
@@ -41,10 +42,29 @@ int usage(std::ostream& out, int exit_code) {
          "      [--days N]               workload horizon (default 28)\n"
          "      [--rate R]               job arrivals per hour (default "
          "2.5)\n"
+         "      [--uncertainty N]        add savings quantiles over N "
+         "workload seeds\n"
          "      [--csv PATH]             also write the merged report as "
          "CSV\n"
          "      [--threads N]            worker threads (default: max(cores, "
          "2))\n"
+         "  sweep                        Monte-Carlo uncertainty sweep: "
+         "quantile tables\n"
+         "      [--samples N]            MC draws per quantity (default "
+         "4096)\n"
+         "      [--sched-samples N]      workload seeds for the scheduler "
+         "section\n"
+         "      [--section a,b,...]      embodied, lifetime, breakeven, "
+         "fleet, sched\n"
+         "      [--region CODE]          CI-trace region for the lifetime "
+         "section\n"
+         "      [--years Y]              lifetime-section horizon (default "
+         "5)\n"
+         "      [--horizon Y]            break-even payback horizon (default "
+         "15)\n"
+         "      [--seed S] [--smoke] [--csv PATH] [--threads N]\n"
+         "      [--band-fab X] [--band-yield X] [--band-epc X]\n"
+         "      [--band-packaging X] [--band-grid X]   input half-widths\n"
          "  bench <name> [args...]       run one figure/table/ablation "
          "bench\n"
          "  example <name> [args...]     run one example\n"
@@ -159,6 +179,12 @@ int cmd_run(int argc, char** argv) {
       opts.horizon_days = parse_number("--days", next_value("--days"));
     } else if (arg == "--rate") {
       opts.arrival_rate_per_hour = parse_number("--rate", next_value("--rate"));
+    } else if (arg == "--uncertainty") {
+      const double n = parse_number("--uncertainty", next_value("--uncertainty"));
+      if (n < 1 || n != static_cast<int>(n)) {
+        throw Error("--uncertainty expects a positive integer sample count");
+      }
+      opts.uncertainty_samples = static_cast<int>(n);
     } else if (arg == "--csv") {
       csv_path = next_value("--csv");
     } else if (arg == "--threads") {
@@ -212,6 +238,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "list") return cmd_list();
   if (cmd == "policies") return cmd_policies();
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
   if (cmd == "bench" || cmd == "example") {
     if (argc < 3) {
       std::cerr << "hpcarbon " << cmd << ": missing tool name\n";

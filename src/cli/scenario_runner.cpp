@@ -7,10 +7,12 @@
 #include <thread>
 
 #include "core/error.h"
+#include "core/stats.h"
 #include "core/thread_pool.h"
 #include "grid/analysis.h"
 #include "grid/presets.h"
 #include "grid/simulator.h"
+#include "mc/engine.h"
 #include "sched/workload_gen.h"
 
 namespace hpcarbon::cli {
@@ -100,6 +102,19 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
   const auto jobs = sched::generate_jobs(wp);
   const HourOfYear epoch(month_start_hour(opts.start_month));
 
+  // Home + the two cleanest other regions, the same trio for every policy
+  // cell and every uncertainty sample of a region.
+  auto build_sites = [&](std::size_t r) {
+    std::vector<sched::Site> sites = {
+        sched::make_site(specs[r].code, traces[r], opts.site_capacity)};
+    for (std::size_t idx : by_median) {
+      if (idx == r || sites.size() >= 3) continue;
+      sites.push_back(sched::make_site(specs[idx].code, traces[idx],
+                                       opts.site_capacity));
+    }
+    return sites;
+  };
+
   // Stage 2 — the (region x policy) ablation matrix on the global pool.
   ScenarioReport report;
   report.jobs = jobs.size();
@@ -113,14 +128,7 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
         const std::size_t r = cell / policies.size();
         const std::string& policy_name = policies[cell % policies.size()];
 
-        std::vector<sched::Site> sites = {
-            sched::make_site(specs[r].code, traces[r], opts.site_capacity)};
-        for (std::size_t idx : by_median) {
-          if (idx == r || sites.size() >= 3) continue;
-          sites.push_back(sched::make_site(specs[idx].code, traces[idx],
-                                           opts.site_capacity));
-        }
-
+        const std::vector<sched::Site> sites = build_sites(r);
         sched::SchedulingEngine engine(sites, epoch);
         const auto policy = sched::make_policy(policy_name);
         const auto metrics = engine.run(jobs, *policy);
@@ -152,20 +160,69 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
                                          : 0.0;
     }
   }
+
+  // Stage 3 (optional) — savings% quantiles over workload-generator seeds.
+  // Sample k draws the same workload for every region (paired comparison),
+  // and all policies of one (region, sample) cell share one engine so the
+  // quantiles isolate the policy effect, not workload luck.
+  if (opts.uncertainty_samples > 0) {
+    report.uncertainty_samples = opts.uncertainty_samples;
+    const auto n_samples = static_cast<std::size_t>(opts.uncertainty_samples);
+    std::vector<double> savings(specs.size() * policies.size() * n_samples,
+                                0.0);
+    ThreadPool::global().parallel_for(
+        0, specs.size() * n_samples, [&](std::size_t cell) {
+          const std::size_t r = cell / n_samples;
+          const std::size_t k = cell % n_samples;
+          Rng rng = mc::substream(opts.uncertainty_seed, k);
+          sched::WorkloadParams sample_wp = wp;
+          sample_wp.seed = rng.next_u64();
+          const auto sample_jobs = sched::generate_jobs(sample_wp);
+          sched::SchedulingEngine engine(build_sites(r), epoch);
+          double base_g = 0;
+          for (std::size_t p = 0; p < policies.size(); ++p) {
+            const auto policy = sched::make_policy(policies[p]);
+            const double g =
+                engine.run(sample_jobs, *policy).total_carbon.to_grams();
+            if (p == 0) base_g = g;  // fcfs-local, by construction
+            savings[(r * policies.size() + p) * n_samples + k] =
+                base_g > 0 ? 100.0 * (base_g - g) / base_g : 0.0;
+          }
+        });
+    for (std::size_t i = 0; i < report.rows.size(); ++i) {
+      const stats::Summary s(
+          std::span<const double>(&savings[i * n_samples], n_samples));
+      report.rows[i].savings_p05 = s.quantile(0.05);
+      report.rows[i].savings_p50 = s.quantile(0.50);
+      report.rows[i].savings_p95 = s.quantile(0.95);
+    }
+  }
   return report;
 }
 
 TextTable ScenarioReport::to_table() const {
-  TextTable t({"Region", "Policy", "Median CI", "CoV%", "Carbon (kg)",
-               "vs FCFS", "Mean wait (h)", "p95 wait (h)", "Remote", "Jobs"});
+  std::vector<std::string> header = {
+      "Region", "Policy", "Median CI", "CoV%", "Carbon (kg)",
+      "vs FCFS", "Mean wait (h)", "p95 wait (h)", "Remote", "Jobs"};
+  if (uncertainty_samples > 0) {
+    header.insert(header.end(), {"sav p05", "sav p50", "sav p95"});
+  }
+  TextTable t(header);
   for (const auto& r : rows) {
-    t.add_row({r.region, r.policy, TextTable::num(r.median_ci_g_per_kwh, 0),
-               TextTable::num(r.cov_percent, 1), TextTable::num(r.carbon_kg, 1),
-               TextTable::pct(r.savings_vs_fcfs_pct, 1),
-               TextTable::num(r.mean_wait_hours, 2),
-               TextTable::num(r.p95_wait_hours, 2),
-               std::to_string(r.remote_dispatches),
-               std::to_string(r.jobs_completed)});
+    std::vector<std::string> row = {
+        r.region, r.policy, TextTable::num(r.median_ci_g_per_kwh, 0),
+        TextTable::num(r.cov_percent, 1), TextTable::num(r.carbon_kg, 1),
+        TextTable::pct(r.savings_vs_fcfs_pct, 1),
+        TextTable::num(r.mean_wait_hours, 2),
+        TextTable::num(r.p95_wait_hours, 2),
+        std::to_string(r.remote_dispatches),
+        std::to_string(r.jobs_completed)};
+    if (uncertainty_samples > 0) {
+      row.insert(row.end(), {TextTable::pct(r.savings_p05, 1),
+                             TextTable::pct(r.savings_p50, 1),
+                             TextTable::pct(r.savings_p95, 1)});
+    }
+    t.add_row(std::move(row));
   }
   return t;
 }
@@ -174,12 +231,21 @@ std::string ScenarioReport::to_csv() const {
   std::ostringstream out;
   out << "region,policy,median_ci_g_per_kwh,cov_percent,carbon_kg,"
          "savings_vs_fcfs_pct,mean_wait_hours,p95_wait_hours,"
-         "remote_dispatches,jobs_completed\n";
+         "remote_dispatches,jobs_completed";
+  if (uncertainty_samples > 0) {
+    out << ",savings_p05,savings_p50,savings_p95";
+  }
+  out << '\n';
   for (const auto& r : rows) {
     out << r.region << ',' << r.policy << ',' << r.median_ci_g_per_kwh << ','
         << r.cov_percent << ',' << r.carbon_kg << ',' << r.savings_vs_fcfs_pct
         << ',' << r.mean_wait_hours << ',' << r.p95_wait_hours << ','
-        << r.remote_dispatches << ',' << r.jobs_completed << '\n';
+        << r.remote_dispatches << ',' << r.jobs_completed;
+    if (uncertainty_samples > 0) {
+      out << ',' << r.savings_p05 << ',' << r.savings_p50 << ','
+          << r.savings_p95;
+    }
+    out << '\n';
   }
   return out.str();
 }

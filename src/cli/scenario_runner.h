@@ -30,6 +30,13 @@ struct ScenarioOptions {
   double arrival_rate_per_hour = 2.5;
   int start_month = 5;  // 0-based: June 1, where Fig. 7 complementarity peaks
   int site_capacity = 16;
+  /// When > 0 (`hpcarbon run --uncertainty N`), each (region, policy) cell
+  /// is additionally re-run over N workload-generator seeds and the rows
+  /// gain savings% quantiles: the point estimate alone cannot say whether
+  /// a policy's edge survives a different job mix.
+  int uncertainty_samples = 0;
+  /// Root seed of the per-sample workload seeds (mc::substream-derived).
+  std::uint64_t uncertainty_seed = 909;
 };
 
 struct ScenarioRow {
@@ -43,11 +50,18 @@ struct ScenarioRow {
   double p95_wait_hours = 0;
   int remote_dispatches = 0;
   int jobs_completed = 0;
+  /// savings% quantiles over workload seeds; populated only when
+  /// ScenarioOptions::uncertainty_samples > 0.
+  double savings_p05 = 0;
+  double savings_p50 = 0;
+  double savings_p95 = 0;
 };
 
 struct ScenarioReport {
   std::vector<ScenarioRow> rows;  // region-major, FcfsLocal first per region
   std::size_t jobs = 0;
+  /// Workload seeds behind the savings% quantile columns (0: disabled).
+  int uncertainty_samples = 0;
   /// Distinct pool worker threads that executed scenario cells.
   std::size_t worker_threads_used = 0;
 

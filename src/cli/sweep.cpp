@@ -1,0 +1,362 @@
+#include "cli/sweep.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "core/csv.h"
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "embodied/catalog.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+#include "hw/node.h"
+#include "sched/engine.h"
+#include "sched/policy.h"
+#include "sched/workload_gen.h"
+
+namespace hpcarbon::cli {
+
+namespace {
+
+SweepRow make_row(std::string section, std::string quantity, std::string unit,
+                  const mc::Distribution& d, double scale = 1.0,
+                  std::string extra = "") {
+  SweepRow r;
+  r.section = std::move(section);
+  r.quantity = std::move(quantity);
+  r.unit = std::move(unit);
+  r.samples = d.samples();
+  r.extra = std::move(extra);
+  if (!d.empty()) {
+    r.mean = d.mean() * scale;
+    r.stddev = d.stddev() * scale;
+    r.p05 = d.quantile(0.05) * scale;
+    r.p25 = d.quantile(0.25) * scale;
+    r.p50 = d.quantile(0.50) * scale;
+    r.p75 = d.quantile(0.75) * scale;
+    r.p95 = d.quantile(0.95) * scale;
+  }
+  return r;
+}
+
+grid::RegionSpec region_spec(const std::string& code) {
+  for (const auto& spec : grid::all_regions()) {
+    if (spec.code == code) return spec;
+  }
+  throw Error("unknown region code '" + code + "' (see `hpcarbon list`)");
+}
+
+lifecycle::UpgradeScenario upgrade_scenario() {
+  lifecycle::UpgradeScenario s;
+  s.old_node = hw::v100_node();
+  s.new_node = hw::a100_node();
+  s.suite = workload::Suite::kNlp;
+  s.intensity = CarbonIntensity::grams_per_kwh(200);
+  s.usage = lifecycle::UsageProfile::medium();
+  s.pue = op::PueModel(1.2);
+  return s;
+}
+
+void sweep_embodied(const SweepOptions& opts, SweepReport& report) {
+  const mc::SamplePlan plan{opts.samples, opts.seed, nullptr};
+  for (auto id : embodied::table1_parts()) {
+    const mc::Distribution d =
+        embodied::is_processor(id)
+            ? embodied::propagate_distribution(embodied::processor(id),
+                                               opts.bands.embodied, plan)
+            : embodied::propagate_distribution(embodied::memory(id),
+                                               opts.bands.embodied, plan);
+    report.rows.push_back(
+        make_row("embodied", embodied::display_name(id), "kg", d, 1e-3));
+  }
+}
+
+void sweep_lifetime(const SweepOptions& opts, SweepReport& report) {
+  const mc::SamplePlan plan{opts.samples, opts.seed, nullptr};
+  const auto traces = grid::generate_traces({region_spec(opts.region)});
+  const HourOfYear start(month_start_hour(5));  // June 1, as in `run`
+  for (const auto& node : {hw::v100_node(), hw::a100_node()}) {
+    const auto d = lifecycle::node_lifetime_footprint_distribution(
+        node, workload::Suite::kNlp, 0.40, opts.lifetime_years, traces[0],
+        start, op::PueModel(1.2), opts.bands, plan);
+    const std::string label = node.name + " node " +
+                              TextTable::num(opts.lifetime_years, 0) + "y " +
+                              opts.region;
+    report.rows.push_back(
+        make_row("lifetime", label + " embodied", "t", d.embodied, 1e-6));
+    report.rows.push_back(make_row("lifetime", label + " operational", "t",
+                                   d.operational, 1e-6));
+    report.rows.push_back(
+        make_row("lifetime", label + " total", "t", d.total, 1e-6));
+  }
+}
+
+void sweep_breakeven(const SweepOptions& opts, SweepReport& report) {
+  const mc::SamplePlan plan{opts.samples, opts.seed, nullptr};
+  const auto scenario = upgrade_scenario();
+  for (double decline : {0.00, 0.03, 0.07}) {
+    const lifecycle::GridTrajectory traj(scenario.intensity, decline);
+    const auto bd = lifecycle::breakeven_distribution(
+        scenario, traj, opts.breakeven_horizon_years, opts.bands, plan);
+    const std::string label = "V100->A100 break-even at decline " +
+                              TextTable::num(100.0 * decline, 0) + "%/y";
+    const std::string extra =
+        "P(payback<=" + TextTable::num(opts.breakeven_horizon_years, 0) +
+        "y)=" + TextTable::num(bd.payback_probability, 3);
+    report.rows.push_back(
+        make_row("breakeven", label, "years", bd.years, 1.0, extra));
+  }
+  const lifecycle::GridTrajectory traj(scenario.intensity, 0.03);
+  report.rows.push_back(make_row(
+      "breakeven", "V100->A100 savings at 4y at decline 3%/y", "%",
+      lifecycle::savings_distribution(scenario, traj, 4.0, opts.bands, plan)));
+}
+
+void sweep_fleet(const SweepOptions& opts, SweepReport& report) {
+  const mc::SamplePlan plan{opts.samples, opts.seed, nullptr};
+  const auto scenario = upgrade_scenario();
+  const lifecycle::GridTrajectory traj(scenario.intensity, 0.03);
+  const double horizon = 6.0;
+  const auto plans = {
+      std::make_pair(std::string("all-at-once"),
+                     lifecycle::all_at_once(scenario, 100)),
+      std::make_pair(std::string("phased over 4y"),
+                     lifecycle::phased(scenario, 100, 4)),
+  };
+  for (const auto& [name, fleet] : plans) {
+    report.rows.push_back(make_row(
+        "fleet",
+        "100-node " + name + " savings at " + TextTable::num(horizon, 0) + "y",
+        "%",
+        lifecycle::fleet_savings_distribution(fleet, traj, horizon, opts.bands,
+                                              plan)));
+  }
+}
+
+void sweep_sched(const SweepOptions& opts, SweepReport& report) {
+  // The bench_sched_ablation setting: dirtiest Fig. 7 region (ERCOT) is
+  // home, ESO and CISO are the remote options, four June weeks of jobs.
+  const auto traces = grid::generate_traces(grid::fig7_regions());
+  const std::vector<sched::Site> sites = {
+      sched::make_site("ERCOT", traces[2], 16),
+      sched::make_site("ESO", traces[0], 16),
+      sched::make_site("CISO", traces[1], 16),
+  };
+  const HourOfYear epoch(month_start_hour(5));
+  // Pin the savings denominator explicitly rather than trusting static
+  // registration order across translation units (scenario_runner does the
+  // same): policies[0] must be the fcfs-local baseline.
+  const auto fcfs = sched::find_policy("fcfs-local");
+  HPC_REQUIRE(fcfs.has_value(), "fcfs-local baseline policy not registered");
+  std::vector<sched::PolicyDescriptor> policies = {*fcfs};
+  for (const auto& desc : sched::registered_policies()) {
+    if (desc.name != fcfs->name) policies.push_back(desc);
+  }
+
+  // One joint draw per workload seed: every policy scores the same jobs,
+  // so the per-policy savings distributions isolate policy choice from
+  // workload luck.
+  const mc::Engine engine({opts.sched_samples, opts.seed, nullptr});
+  const auto dists = engine.run_multi(
+      policies.size(), [&](std::size_t, Rng& rng, std::span<double> out) {
+        sched::WorkloadParams wp;
+        wp.horizon_hours = 24.0 * 28;
+        wp.arrival_rate_per_hour = 2.5;
+        wp.seed = rng.next_u64();
+        const auto jobs = sched::generate_jobs(wp);
+        sched::SchedulingEngine sim(sites, epoch);
+        double base_g = 0;
+        for (std::size_t p = 0; p < policies.size(); ++p) {
+          const auto policy = policies[p].make({});
+          const double g = sim.run(jobs, *policy).total_carbon.to_grams();
+          if (p == 0) base_g = g;  // fcfs-local, pinned above
+          out[p] = base_g > 0 ? 100.0 * (base_g - g) / base_g : 0.0;
+        }
+      });
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    report.rows.push_back(make_row("sched",
+                                   policies[p].name + " savings vs fcfs", "%",
+                                   dists[p], 1.0,
+                                   p == 0 ? "baseline" : ""));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> sweep_sections() {
+  return {"embodied", "lifetime", "breakeven", "fleet", "sched"};
+}
+
+SweepReport run_sweep(const SweepOptions& opts) {
+  HPC_REQUIRE(opts.samples > 0, "sweep needs at least one sample");
+  HPC_REQUIRE(opts.sched_samples > 0,
+              "sweep needs at least one scheduler sample");
+  lifecycle::validate(opts.bands);
+
+  std::vector<std::string> sections;
+  for (const auto& s :
+       opts.sections.empty() ? sweep_sections() : opts.sections) {
+    // Programmatic callers may pass repeats; run each section once.
+    if (std::find(sections.begin(), sections.end(), s) == sections.end()) {
+      sections.push_back(s);
+    }
+  }
+  const auto known = sweep_sections();
+  for (const auto& s : sections) {
+    if (std::find(known.begin(), known.end(), s) == known.end()) {
+      std::string list;
+      for (const auto& k : known) list += (list.empty() ? "" : ", ") + k;
+      throw Error("unknown sweep section '" + s + "' (known: " + list + ")");
+    }
+  }
+
+  SweepReport report;
+  for (const auto& s : sections) {
+    if (s == "embodied") sweep_embodied(opts, report);
+    if (s == "lifetime") sweep_lifetime(opts, report);
+    if (s == "breakeven") sweep_breakeven(opts, report);
+    if (s == "fleet") sweep_fleet(opts, report);
+    if (s == "sched") sweep_sched(opts, report);
+  }
+  return report;
+}
+
+TextTable SweepReport::section_table(const std::string& section) const {
+  TextTable t({"Quantity", "Unit", "Samples", "Mean", "SD", "p05", "p25",
+               "p50", "p75", "p95", "Notes"});
+  for (const auto& r : rows) {
+    if (r.section != section) continue;
+    t.add_row({r.quantity, r.unit, std::to_string(r.samples),
+               TextTable::num(r.mean, 2), TextTable::num(r.stddev, 2),
+               TextTable::num(r.p05, 2), TextTable::num(r.p25, 2),
+               TextTable::num(r.p50, 2), TextTable::num(r.p75, 2),
+               TextTable::num(r.p95, 2), r.extra.empty() ? "-" : r.extra});
+  }
+  return t;
+}
+
+std::string SweepReport::to_csv() const {
+  std::ostringstream out;
+  out << "section,quantity,unit,samples,mean,stddev,p05,p25,p50,p75,p95,"
+         "extra\n";
+  for (const auto& r : rows) {
+    out << r.section << ',' << r.quantity << ',' << r.unit << ','
+        << r.samples << ',' << r.mean << ',' << r.stddev << ',' << r.p05
+        << ',' << r.p25 << ',' << r.p50 << ',' << r.p75 << ',' << r.p95
+        << ',' << r.extra << '\n';
+  }
+  return out.str();
+}
+
+int cmd_sweep(int argc, char** argv) {
+  SweepOptions opts;
+  std::string csv_path;
+  std::size_t threads = 0;
+  bool smoke = false;
+  int samples_flag = 0, sched_samples_flag = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+      return argv[++i];
+    };
+    auto next_number = [&](const char* flag) {
+      const std::string v = next_value(flag);
+      try {
+        std::size_t consumed = 0;
+        const double parsed = std::stod(v, &consumed);
+        if (consumed != v.size()) throw std::invalid_argument(v);
+        return parsed;
+      } catch (const std::exception&) {
+        throw Error(std::string(flag) + " expects a number, got '" + v + "'");
+      }
+    };
+    auto next_count = [&](const char* flag) {
+      const double n = next_number(flag);
+      if (n < 1 || n != static_cast<int>(n)) {
+        throw Error(std::string(flag) +
+                    " expects a positive integer sample count");
+      }
+      return static_cast<int>(n);
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--samples") {
+      samples_flag = next_count("--samples");
+    } else if (arg == "--sched-samples") {
+      sched_samples_flag = next_count("--sched-samples");
+    } else if (arg == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(next_number("--seed"));
+    } else if (arg == "--section") {
+      std::string list = next_value("--section");
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string name =
+            list.substr(pos, comma == std::string::npos ? comma : comma - pos);
+        // Repeats would duplicate both the computation and the rows.
+        if (!name.empty() && std::find(opts.sections.begin(),
+                                       opts.sections.end(),
+                                       name) == opts.sections.end()) {
+          opts.sections.push_back(name);
+        }
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (arg == "--region") {
+      opts.region = next_value("--region");
+    } else if (arg == "--years") {
+      opts.lifetime_years = next_number("--years");
+    } else if (arg == "--horizon") {
+      opts.breakeven_horizon_years = next_number("--horizon");
+    } else if (arg == "--band-fab") {
+      opts.bands.embodied.fab_per_area = next_number("--band-fab");
+    } else if (arg == "--band-yield") {
+      opts.bands.embodied.yield = next_number("--band-yield");
+    } else if (arg == "--band-epc") {
+      opts.bands.embodied.epc = next_number("--band-epc");
+    } else if (arg == "--band-packaging") {
+      opts.bands.embodied.packaging = next_number("--band-packaging");
+    } else if (arg == "--band-grid") {
+      opts.bands.grid_ci = next_number("--band-grid");
+    } else if (arg == "--csv") {
+      csv_path = next_value("--csv");
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(next_number("--threads"));
+    } else {
+      throw Error("unknown sweep argument '" + arg +
+                  "' (see `hpcarbon help`)");
+    }
+  }
+  // --smoke shrinks every sample count for CI; explicit flags still win.
+  opts.samples = samples_flag > 0 ? samples_flag : (smoke ? 256 : 4096);
+  opts.sched_samples =
+      sched_samples_flag > 0 ? sched_samples_flag : (smoke ? 4 : 16);
+
+  if (threads == 0) {
+    threads = ThreadPool::env_thread_hint();
+    if (threads == 0) {
+      threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+    }
+  }
+  ThreadPool::set_global_threads(threads);
+
+  const SweepReport report = run_sweep(opts);
+  const auto selected = opts.sections.empty() ? sweep_sections()
+                                              : opts.sections;
+  std::cout << banner("uncertainty sweep: " +
+                      std::to_string(opts.samples) + " samples, seed " +
+                      std::to_string(opts.seed));
+  for (const auto& section : selected) {
+    std::cout << banner("sweep: " + section);
+    std::cout << report.section_table(section).to_string();
+  }
+  if (!csv_path.empty()) {
+    write_file(csv_path, report.to_csv());
+    std::cout << "\nquantile CSV written to " << csv_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace hpcarbon::cli

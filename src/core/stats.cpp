@@ -7,6 +7,23 @@
 
 namespace hpcarbon::stats {
 
+namespace {
+
+// R type-7 linear interpolation on already-sorted data: the single
+// implementation behind both stats::quantile and Summary::quantile.
+double quantile_sorted(std::span<const double> sorted, double p) {
+  HPC_REQUIRE(!sorted.empty(), "quantile of empty range");
+  HPC_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p outside [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double h = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
 double mean(std::span<const double> xs) {
   HPC_REQUIRE(!xs.empty(), "mean of empty range");
   double acc = 0;
@@ -44,27 +61,64 @@ double cov_percent(std::span<const double> xs) {
 
 double quantile(std::span<const double> xs, double p) {
   HPC_REQUIRE(!xs.empty(), "quantile of empty range");
-  HPC_REQUIRE(p >= 0.0 && p <= 1.0, "quantile p outside [0,1]");
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
-  if (v.size() == 1) return v.front();
-  const double h = p * static_cast<double>(v.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(h));
-  const auto hi = std::min(lo + 1, v.size() - 1);
-  const double frac = h - static_cast<double>(lo);
-  return v[lo] + frac * (v[hi] - v[lo]);
+  return quantile_sorted(v, p);
 }
 
 double median(std::span<const double> xs) { return quantile(xs, 0.5); }
 
+Summary::Summary(std::span<const double> xs)
+    : sorted_(xs.begin(), xs.end()) {
+  finalize(xs);
+}
+
+Summary::Summary(std::vector<double>&& xs) : sorted_(std::move(xs)) {
+  // Moments must see the original order (summation order changes the last
+  // ulp), so accumulate before the in-place sort.
+  finalize(sorted_);
+}
+
+void Summary::finalize(std::span<const double> original_order) {
+  if (!original_order.empty()) mean_ = stats::mean(original_order);
+  variance_ = stats::variance(original_order);
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Summary::mean() const {
+  HPC_REQUIRE(!empty(), "mean of empty summary");
+  return mean_;
+}
+
+double Summary::variance() const { return variance_; }
+
+double Summary::stddev() const { return std::sqrt(variance_); }
+
+double Summary::min() const {
+  HPC_REQUIRE(!empty(), "min of empty summary");
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  HPC_REQUIRE(!empty(), "max of empty summary");
+  return sorted_.back();
+}
+
+double Summary::quantile(double p) const {
+  HPC_REQUIRE(!empty(), "quantile of empty summary");
+  return quantile_sorted(sorted_, p);
+}
+
 BoxStats box_stats(std::span<const double> xs) {
+  // One Summary instead of three quantile() calls: one sort, not three.
+  const Summary s(xs);
   BoxStats b;
-  b.q1 = quantile(xs, 0.25);
-  b.median = quantile(xs, 0.5);
-  b.q3 = quantile(xs, 0.75);
-  b.mean = mean(xs);
-  b.min = min(xs);
-  b.max = max(xs);
+  b.q1 = s.quantile(0.25);
+  b.median = s.quantile(0.5);
+  b.q3 = s.quantile(0.75);
+  b.mean = s.mean();
+  b.min = s.min();
+  b.max = s.max();
   const double iqr = b.q3 - b.q1;
   // Tukey whiskers: furthest data point within 1.5*IQR of the box.
   double lo_fence = b.q1 - 1.5 * iqr;

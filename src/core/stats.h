@@ -25,6 +25,48 @@ double cov_percent(std::span<const double> xs);
 double quantile(std::span<const double> xs, double p);
 double median(std::span<const double> xs);
 
+/// One-sort descriptive summary of a sample.
+///
+/// The free functions above each rescan (and `quantile` re-sorts) their
+/// input per call, which is fine for one-off figures but quadratic-feeling
+/// in summarization loops: the Monte-Carlo layer asks for mean, stddev,
+/// and several quantiles of the same vector. Summary pays one pass for the
+/// moments plus one sort at construction; every quantile afterwards is an
+/// O(1) interpolation on the sorted data. Moments are accumulated over the
+/// input order (before sorting), so mean()/stddev() are bit-identical to
+/// the free functions on the same span.
+class Summary {
+ public:
+  Summary() = default;
+  explicit Summary(std::span<const double> xs);
+  /// Takes ownership of the buffer (sorted in place; no copy).
+  explicit Summary(std::vector<double>&& xs);
+
+  std::size_t count() const { return sorted_.size(); }
+  bool empty() const { return sorted_.empty(); }
+
+  double mean() const;
+  double variance() const;  // sample variance, n-1 denominator
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+  /// R type-7 linear-interpolation quantile on the pre-sorted data; p in
+  /// [0,1]. Matches stats::quantile exactly, without the per-call sort.
+  double quantile(double p) const;
+  double median() const { return quantile(0.5); }
+
+  /// The samples in ascending order.
+  const std::vector<double>& sorted() const { return sorted_; }
+
+ private:
+  void finalize(std::span<const double> original_order);
+
+  std::vector<double> sorted_;
+  double mean_ = 0;
+  double variance_ = 0;
+};
+
 /// Five-number summary plus Tukey whiskers (1.5 IQR clamped to data range),
 /// i.e. the geometry of one box in Fig. 6(a).
 struct BoxStats {

@@ -2,81 +2,115 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
-#include <vector>
 
 #include "core/error.h"
-#include "core/rng.h"
-#include "core/stats.h"
-#include "core/thread_pool.h"
 #include "embodied/models.h"
 
 namespace hpcarbon::embodied {
 
 namespace {
 
-UncertaintyResult summarize(std::vector<double>& grams) {
-  UncertaintyResult r;
-  r.samples = static_cast<int>(grams.size());
-  r.mean = Mass::grams(stats::mean(grams));
-  r.stddev = Mass::grams(stats::stddev(grams));
-  r.p05 = Mass::grams(stats::quantile(grams, 0.05));
-  r.p50 = Mass::grams(stats::quantile(grams, 0.50));
-  r.p95 = Mass::grams(stats::quantile(grams, 0.95));
-  return r;
+// Draws one multiplicative perturbation in [1-band, 1+band].
+double jitter(Rng& rng, double band) {
+  return rng.uniform(1.0 - band, 1.0 + band);
 }
 
-// Draws one multiplicative perturbation in [1-band, 1+band].
-double jitter(Rng& rng, double band) { return rng.uniform(1.0 - band, 1.0 + band); }
-
 }  // namespace
+
+void validate(const UncertaintyBands& bands) {
+  HPC_REQUIRE(bands.fab_per_area >= 0 && bands.yield >= 0 && bands.epc >= 0 &&
+                  bands.packaging >= 0,
+              "uncertainty bands must be non-negative");
+  // The fab/EPC/packaging bands are multiplicative half-widths: anything
+  // above 1 draws negative multipliers, i.e. negative embodied carbon —
+  // silently corrupting every downstream distribution.
+  HPC_REQUIRE(bands.fab_per_area <= 1.0 && bands.epc <= 1.0 &&
+                  bands.packaging <= 1.0,
+              "multiplicative uncertainty bands must be at most 1");
+}
+
+void validate(const ProcessorPart& part, const UncertaintyBands& bands) {
+  validate(bands);
+  // The sampler clamps perturbed yield into [0.5, 1.0]; a band wide enough
+  // to hit the clamp would pile probability mass on the edges and silently
+  // skew the distribution, so reject it up front.
+  constexpr double kEps = 1e-12;
+  HPC_REQUIRE(part.yield - bands.yield >= 0.5 - kEps &&
+                  part.yield + bands.yield <= 1.0 + kEps,
+              "yield band escapes [0.5, 1.0]: narrow bands.yield or adjust "
+              "part.yield");
+}
+
+double sample_embodied_grams(const ProcessorPart& part,
+                             const UncertaintyBands& bands, Rng& rng) {
+  double total = 0;
+  for (const auto& die : part.dies) {
+    const double per_area = fab_footprint(die.node).total_g_per_cm2() *
+                            jitter(rng, bands.fab_per_area);
+    double y = part.yield + rng.uniform(-bands.yield, bands.yield);
+    y = std::clamp(y, 0.5, 1.0);  // cannot bind once validate() passed
+    total += per_area * (die.area_mm2 / 100.0) * die.count / y;
+  }
+  total += kPackagingGramsPerIc * part.ic_count * jitter(rng, bands.packaging);
+  return total;
+}
+
+double sample_embodied_grams(const MemoryPart& part,
+                             const UncertaintyBands& bands, Rng& rng) {
+  const double mfg =
+      part.epc_g_per_gb * part.capacity_gb * jitter(rng, bands.epc);
+  double pkg;
+  if (part.cls == PartClass::kDram) {
+    pkg = kPackagingGramsPerIc * part.ic_count * jitter(rng, bands.packaging);
+  } else {
+    pkg = mfg *
+          part.packaging_to_manufacturing.value_or(kStoragePackagingRatio) *
+          jitter(rng, bands.packaging);
+  }
+  return mfg + pkg;
+}
+
+mc::Distribution propagate_distribution(const ProcessorPart& part,
+                                        const UncertaintyBands& bands,
+                                        const mc::SamplePlan& plan) {
+  validate(part, bands);
+  return mc::Engine(plan).run([&](std::size_t, Rng& rng) {
+    return sample_embodied_grams(part, bands, rng);
+  });
+}
+
+mc::Distribution propagate_distribution(const MemoryPart& part,
+                                        const UncertaintyBands& bands,
+                                        const mc::SamplePlan& plan) {
+  validate(bands);
+  return mc::Engine(plan).run([&](std::size_t, Rng& rng) {
+    return sample_embodied_grams(part, bands, rng);
+  });
+}
+
+UncertaintyResult UncertaintyResult::from(const mc::Distribution& d) {
+  UncertaintyResult r;
+  r.samples = d.samples();
+  r.mean = Mass::grams(d.mean());
+  r.stddev = Mass::grams(d.stddev());
+  r.p05 = Mass::grams(d.p05());
+  r.p50 = Mass::grams(d.p50());
+  r.p95 = Mass::grams(d.p95());
+  return r;
+}
 
 UncertaintyResult propagate(const ProcessorPart& part,
                             const UncertaintyBands& bands, int samples,
                             std::uint64_t seed) {
-  HPC_REQUIRE(samples > 0, "need at least one sample");
-  std::vector<double> grams(static_cast<std::size_t>(samples), 0.0);
-  auto& pool = ThreadPool::global();
-  // One RNG stream per sample index derived from (seed, i): deterministic
-  // regardless of thread count.
-  pool.parallel_for(0, grams.size(), [&](std::size_t i) {
-    Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
-    double total = 0;
-    for (const auto& die : part.dies) {
-      const double per_area =
-          fab_footprint(die.node).total_g_per_cm2() *
-          jitter(rng, bands.fab_per_area);
-      double y = part.yield + rng.uniform(-bands.yield, bands.yield);
-      y = std::clamp(y, 0.5, 1.0);
-      total += per_area * (die.area_mm2 / 100.0) * die.count / y;
-    }
-    total += kPackagingGramsPerIc * part.ic_count * jitter(rng, bands.packaging);
-    grams[i] = total;
-  });
-  return summarize(grams);
+  return UncertaintyResult::from(
+      propagate_distribution(part, bands, {samples, seed, nullptr}));
 }
 
 UncertaintyResult propagate(const MemoryPart& part,
                             const UncertaintyBands& bands, int samples,
                             std::uint64_t seed) {
-  HPC_REQUIRE(samples > 0, "need at least one sample");
-  std::vector<double> grams(static_cast<std::size_t>(samples), 0.0);
-  auto& pool = ThreadPool::global();
-  pool.parallel_for(0, grams.size(), [&](std::size_t i) {
-    Rng rng(seed ^ (0x9E3779B97F4A7C15ULL * (i + 1)));
-    const double mfg =
-        part.epc_g_per_gb * part.capacity_gb * jitter(rng, bands.epc);
-    double pkg;
-    if (part.cls == PartClass::kDram) {
-      pkg = kPackagingGramsPerIc * part.ic_count * jitter(rng, bands.packaging);
-    } else {
-      pkg = mfg *
-            part.packaging_to_manufacturing.value_or(kStoragePackagingRatio) *
-            jitter(rng, bands.packaging);
-    }
-    grams[i] = mfg + pkg;
-  });
-  return summarize(grams);
+  return UncertaintyResult::from(
+      propagate_distribution(part, bands, {samples, seed, nullptr}));
 }
 
 }  // namespace hpcarbon::embodied

@@ -3,18 +3,28 @@
 // The paper's Threats-to-Validity section stresses that yield, per-area
 // emission factors, and EPC values are uncertain and vendor-dependent. This
 // module quantifies that: each input is perturbed within a relative band
-// and the induced distribution of C_em is summarized. Used by
-// bench_sensitivity and the property tests.
+// and the induced distribution of C_em is summarized. The sampling itself
+// runs on the shared mc::Engine (src/mc/engine.h) — this file contributes
+// only the per-sample model evaluations (one draw of Eq. 2/3/5 or
+// Eq. 2/4/5) and thin wrappers for callers that want the legacy
+// five-number summary. Used by bench_sensitivity, `hpcarbon sweep`, the
+// lifecycle uncertainty layer, and the property tests.
 #pragma once
 
 #include <cstdint>
 
 #include "core/units.h"
 #include "embodied/part.h"
+#include "mc/engine.h"
 
 namespace hpcarbon::embodied {
 
-/// Relative half-widths of the uniform input perturbations.
+/// Relative half-widths of the uniform input perturbations. Validated on
+/// entry by every propagate call: bands must be in [0, 1] (a
+/// multiplicative half-width above 1 would draw negative carbon), and the
+/// yield band must keep `part.yield ± yield` inside [0.5, 1.0] — values
+/// outside would be silently clamped by the sampler, skewing the
+/// distribution without notice, so they are rejected instead.
 struct UncertaintyBands {
   double fab_per_area = 0.20;   // FPA+GPA+MPA: +/-20%
   double yield = 0.05;          // yield: +/-5% (absolute band around 0.875)
@@ -22,6 +32,31 @@ struct UncertaintyBands {
   double packaging = 0.25;      // per-IC packaging: +/-25%
 };
 
+/// Throws hpcarbon::Error when any band is negative.
+void validate(const UncertaintyBands& bands);
+/// Also rejects a yield band that escapes the sampler's [0.5, 1.0] clamp.
+void validate(const ProcessorPart& part, const UncertaintyBands& bands);
+
+/// One Monte-Carlo draw of Eq. 2/3/5 for a processor, in grams. Pure in
+/// (part, bands, rng state) — the seam the mc::Engine and the node-level
+/// samplers (hw::sample_node_embodied) evaluate.
+double sample_embodied_grams(const ProcessorPart& part,
+                             const UncertaintyBands& bands, Rng& rng);
+/// One draw of Eq. 2/4/5 for memory/storage, in grams.
+double sample_embodied_grams(const MemoryPart& part,
+                             const UncertaintyBands& bands, Rng& rng);
+
+/// Full distribution of C_em under the input bands. Deterministic for a
+/// fixed plan, bit-identical regardless of the executing pool's thread
+/// count (see mc::Engine).
+mc::Distribution propagate_distribution(const ProcessorPart& part,
+                                        const UncertaintyBands& bands,
+                                        const mc::SamplePlan& plan = {});
+mc::Distribution propagate_distribution(const MemoryPart& part,
+                                        const UncertaintyBands& bands,
+                                        const mc::SamplePlan& plan = {});
+
+/// Legacy five-number summary of propagate_distribution.
 struct UncertaintyResult {
   Mass mean;
   Mass stddev;
@@ -29,11 +64,12 @@ struct UncertaintyResult {
   Mass p50;
   Mass p95;
   int samples = 0;
+
+  static UncertaintyResult from(const mc::Distribution& d);
 };
 
-/// Propagate input uncertainty through Eq. 2/3/5 for a processor.
-/// Deterministic for a fixed seed; sampling is parallelized across the
-/// global thread pool.
+/// Propagate input uncertainty through Eq. 2/3/5 for a processor. Thin
+/// wrapper over propagate_distribution.
 UncertaintyResult propagate(const ProcessorPart& part,
                             const UncertaintyBands& bands, int samples = 4096,
                             std::uint64_t seed = 42);

@@ -35,6 +35,36 @@ Mass node_embodied(const NodeConfig& node, EmbodiedScope scope) {
   return total;
 }
 
+Mass sample_node_embodied(const NodeConfig& node, EmbodiedScope scope,
+                          const embodied::UncertaintyBands& bands, Rng& rng) {
+  HPC_REQUIRE(node.gpu_count >= 0 && node.cpu_count > 0,
+              "node must have CPUs and a non-negative GPU count");
+  const auto& gpu = embodied::processor(node.gpu);
+  const auto& cpu = embodied::processor(node.cpu);
+  // Part-aware band validation (yield band vs the sampler's clamp) must
+  // run here, not just in embodied::propagate: the lifecycle distribution
+  // APIs reach the processor samplers only through this seam.
+  embodied::validate(gpu, bands);
+  embodied::validate(cpu, bands);
+  // Mirrors node_embodied term by term, with each part's point value
+  // replaced by one sampled draw. Draw order is fixed (GPU, CPU, then
+  // DRAM/SSD in full scope) so a given (seed, sample) pair is reproducible.
+  double grams =
+      embodied::sample_embodied_grams(gpu, bands, rng) * node.gpu_count +
+      embodied::sample_embodied_grams(cpu, bands, rng) * node.cpu_count;
+  if (scope == EmbodiedScope::kFullNode) {
+    grams += embodied::sample_embodied_grams(
+                 embodied::memory(embodied::PartId::kDram64GbDdr4), bands,
+                 rng) *
+             node.dram_module_count();
+    grams += embodied::sample_embodied_grams(
+                 embodied::memory(embodied::PartId::kSsdNytro3530_3_2Tb),
+                 bands, rng) *
+             node.ssd_count;
+  }
+  return Mass::grams(grams);
+}
+
 NodeConfig p100_node() {
   NodeConfig n;
   n.name = "P100";

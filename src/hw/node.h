@@ -14,8 +14,10 @@
 
 #include <string>
 
+#include "core/rng.h"
 #include "core/units.h"
 #include "embodied/catalog.h"
+#include "embodied/uncertainty.h"
 
 namespace hpcarbon::hw {
 
@@ -43,6 +45,15 @@ enum class EmbodiedScope { kComputeOnly, kFullNode };
 /// Node embodied carbon (Eq. 2 summed over components in scope).
 Mass node_embodied(const NodeConfig& node,
                    EmbodiedScope scope = EmbodiedScope::kFullNode);
+
+/// One Monte-Carlo draw of node_embodied under part-level input bands
+/// (the per-sample seam of the lifecycle uncertainty layer). Perturbations
+/// are drawn once per part *model* and scaled by count: the bands describe
+/// model/vendor uncertainty (is the A100's per-area factor right?), which
+/// is fully correlated across identical parts in one node, not
+/// unit-to-unit manufacturing variation.
+Mass sample_node_embodied(const NodeConfig& node, EmbodiedScope scope,
+                          const embodied::UncertaintyBands& bands, Rng& rng);
 
 // Table 5 presets.
 NodeConfig p100_node();

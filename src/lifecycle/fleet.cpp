@@ -22,11 +22,17 @@ void validate(const FleetPlan& plan) {
 
 Mass fleet_cumulative_carbon(const FleetPlan& plan, const GridTrajectory& traj,
                              double years) {
+  return Mass::grams(fleet_cumulative_grams(
+      plan, traj, years, annual_energy_keep(plan.node).to_kwh(),
+      annual_energy_upgrade(plan.node).to_kwh(),
+      upgrade_embodied(plan.node).to_grams()));
+}
+
+double fleet_cumulative_grams(const FleetPlan& plan, const GridTrajectory& traj,
+                              double years, double e_old, double e_new,
+                              double em_new) {
   validate(plan);
   HPC_REQUIRE(years > 0, "years must be positive");
-  const double e_old = annual_energy_keep(plan.node).to_kwh();
-  const double e_new = annual_energy_upgrade(plan.node).to_kwh();
-  const double em_new = upgrade_embodied(plan.node).to_grams();
   const double n = plan.node_count;
 
   double grams = 0;
@@ -47,7 +53,7 @@ Mass fleet_cumulative_carbon(const FleetPlan& plan, const GridTrajectory& traj,
               e_new * traj.integral(swap_time, years));
   }
   grams += (1.0 - replaced) * n * e_old * traj.integral(0.0, years);
-  return Mass::grams(grams);
+  return grams;
 }
 
 Mass fleet_keep_carbon(const FleetPlan& plan, const GridTrajectory& traj,

@@ -30,6 +30,14 @@ struct FleetPlan {
 Mass fleet_cumulative_carbon(const FleetPlan& plan, const GridTrajectory& traj,
                              double years);
 
+/// Schedule-accounting core on precomputed per-node annual energies (kWh)
+/// and new-node embodied grams — the seam the Monte-Carlo layer samples
+/// through (a grid-CI scale multiplies both energies; embodied is drawn
+/// per sample). fleet_cumulative_carbon wraps this with point values.
+double fleet_cumulative_grams(const FleetPlan& plan, const GridTrajectory& traj,
+                              double years, double e_old_kwh, double e_new_kwh,
+                              double em_new_g);
+
 /// Cumulative carbon had the fleet never been upgraded.
 Mass fleet_keep_carbon(const FleetPlan& plan, const GridTrajectory& traj,
                        double years);

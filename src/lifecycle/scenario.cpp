@@ -40,10 +40,15 @@ double savings_percent(const UpgradeScenario& s, const GridTrajectory& traj,
 std::optional<double> breakeven_years(const UpgradeScenario& s,
                                       const GridTrajectory& traj,
                                       double horizon_years) {
+  return breakeven_years(annual_energy_keep(s).to_kwh(),
+                         annual_energy_upgrade(s).to_kwh(),
+                         upgrade_embodied(s).to_grams(), traj, horizon_years);
+}
+
+std::optional<double> breakeven_years(double e_keep, double e_new, double em,
+                                      const GridTrajectory& traj,
+                                      double horizon_years) {
   HPC_REQUIRE(horizon_years > 0, "horizon must be positive");
-  const double e_keep = annual_energy_keep(s).to_kwh();
-  const double e_new = annual_energy_upgrade(s).to_kwh();
-  const double em = upgrade_embodied(s).to_grams();
   if (e_new >= e_keep) return std::nullopt;
   // Cumulative difference D(t) = (e_keep - e_new) * integral(0,t) - em is
   // monotone increasing; bisect for the root.

@@ -49,4 +49,13 @@ std::optional<double> breakeven_years(const UpgradeScenario& s,
                                       const GridTrajectory& traj,
                                       double horizon_years = 30.0);
 
+/// Break-even core on precomputed annual energies (kWh) and the new node's
+/// embodied grams — the seam the Monte-Carlo layer samples through (it
+/// perturbs em_new_g and scales the energies per sample). The
+/// scenario-based overload above wraps this with point values.
+std::optional<double> breakeven_years(double e_keep_kwh, double e_new_kwh,
+                                      double em_new_g,
+                                      const GridTrajectory& traj,
+                                      double horizon_years);
+
 }  // namespace hpcarbon::lifecycle

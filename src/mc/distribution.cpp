@@ -1,0 +1,41 @@
+#include "mc/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace hpcarbon::mc {
+
+double Distribution::cdf(double x) const {
+  HPC_REQUIRE(!empty(), "cdf of empty distribution");
+  const auto& s = summary_.sorted();
+  const auto it = std::upper_bound(s.begin(), s.end(), x);
+  return static_cast<double>(it - s.begin()) / static_cast<double>(s.size());
+}
+
+std::vector<std::size_t> Distribution::histogram(std::size_t bins) const {
+  HPC_REQUIRE(bins > 0, "histogram needs at least one bin");
+  HPC_REQUIRE(!empty(), "histogram of empty distribution");
+  if (min() == max()) {
+    std::vector<std::size_t> counts(bins, 0);
+    counts[0] = summary_.count();
+    return counts;
+  }
+  return stats::histogram(summary_.sorted(), min(),
+                          // Nudge the top edge so max lands in the last bin
+                          // rather than being clamped from outside [lo, hi).
+                          std::nextafter(max(), max() + 1.0), bins);
+}
+
+std::string Distribution::to_string(int precision) const {
+  if (empty()) return "(empty distribution)";
+  std::ostringstream out;
+  out.precision(precision);
+  out << "mean " << mean() << " sd " << stddev() << " [p05 " << p05()
+      << ", p95 " << p95() << "] (" << samples() << " samples)";
+  return out.str();
+}
+
+}  // namespace hpcarbon::mc

@@ -1,0 +1,82 @@
+// Generic Monte-Carlo engine: one sampling mechanism for every layer.
+//
+// Before this subsystem existed, embodied::propagate hand-rolled its own
+// parallel sampling loop (twice, once per overload) and every higher layer
+// — lifetime footprints, break-even analysis, fleet plans, the scheduler
+// ablation — simply emitted point estimates because re-rolling that loop
+// per API was too much friction. The engine factors the mechanism out:
+//
+//  * SamplePlan        — how many samples, the root seed, and (optionally)
+//                        which thread pool executes them;
+//  * substream()       — a deterministic per-sample RNG derived from
+//                        (seed, index) through two SplitMix64 finalizations,
+//                        replacing the ad-hoc `seed ^ (golden * (i+1))` xor
+//                        whose low bits correlate across indices;
+//  * Engine            — batched execution over ThreadPool::global() (or
+//                        the plan's pool) that is bit-identical regardless
+//                        of thread count: sample i always draws from
+//                        substream(seed, i) and writes slot i.
+//
+// Model layers provide a pure per-sample function; the engine returns the
+// raw sample vector or a Distribution (mean/stddev/quantiles/histogram,
+// one sort). See README "Adding an uncertain quantity".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "mc/distribution.h"
+
+namespace hpcarbon {
+class ThreadPool;
+}
+
+namespace hpcarbon::mc {
+
+struct SamplePlan {
+  int samples = 4096;
+  std::uint64_t seed = 42;
+  /// Pool override for the batched execution; nullptr selects
+  /// ThreadPool::global(). The result is bit-identical either way — this
+  /// only chooses who runs the loop (tests use it to prove exactly that).
+  ThreadPool* pool = nullptr;
+};
+
+/// Independent RNG stream for sample `index` of root `seed`. Deterministic
+/// and order-free: any thread may evaluate any sample.
+Rng substream(std::uint64_t seed, std::uint64_t index);
+
+/// fn(sample_index, rng) -> one draw of the quantity under study.
+using SampleFn = std::function<double(std::size_t, Rng&)>;
+/// fn(sample_index, rng, out) fills `out` (size = outputs) with one joint
+/// draw of several quantities sharing the same perturbed inputs. `out` is
+/// a stripe of the engine's result buffer — no per-sample allocation.
+using MultiSampleFn = std::function<void(std::size_t, Rng&, std::span<double>)>;
+
+class Engine {
+ public:
+  /// Validates the plan (samples >= 1).
+  explicit Engine(SamplePlan plan);
+
+  const SamplePlan& plan() const { return plan_; }
+
+  /// All draws, in sample-index order (bit-identical across thread counts).
+  std::vector<double> run_samples(const SampleFn& fn) const;
+
+  /// run_samples + one-sort summarization.
+  Distribution run(const SampleFn& fn) const;
+
+  /// Joint sampling: `outputs` correlated quantities per draw (e.g. a
+  /// footprint's embodied, operational, and total share one perturbed
+  /// input vector). Returns one Distribution per output.
+  std::vector<Distribution> run_multi(std::size_t outputs,
+                                      const MultiSampleFn& fn) const;
+
+ private:
+  SamplePlan plan_;
+};
+
+}  // namespace hpcarbon::mc

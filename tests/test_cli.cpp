@@ -5,6 +5,7 @@
 
 #include "cli/registry.h"
 #include "cli/scenario_runner.h"
+#include "cli/sweep.h"
 #include "core/error.h"
 
 #include "core/thread_pool.h"
@@ -108,6 +109,80 @@ TEST(ScenarioRunner, RejectsUnknownRegion) {
   ScenarioOptions opts;
   opts.regions = {"ATLANTIS"};
   EXPECT_THROW(run_scenarios(opts), Error);
+}
+
+TEST(ScenarioRunner, UncertaintyAddsSavingsQuantiles) {
+  ScenarioOptions opts;
+  // Two regions so ERCOT gets a cleaner remote site (ESO) to dispatch to.
+  opts.regions = {"ERCOT", "ESO"};
+  opts.policies = {"greedy"};
+  opts.horizon_days = 7;
+  opts.arrival_rate_per_hour = 1.0;
+  opts.uncertainty_samples = 3;
+
+  const ScenarioReport report = run_scenarios(opts);
+  EXPECT_EQ(report.uncertainty_samples, 3);
+  ASSERT_EQ(report.rows.size(), 4u);
+  const auto& base = report.rows[0];    // ERCOT fcfs-local
+  const auto& greedy = report.rows[1];  // ERCOT greedy-lowest-ci
+  // The baseline's savings vs itself is identically zero in every sample.
+  EXPECT_DOUBLE_EQ(base.savings_p05, 0.0);
+  EXPECT_DOUBLE_EQ(base.savings_p95, 0.0);
+  // Quantiles are ordered, and greedy's cross-region dispatch out of the
+  // dirtiest region saves carbon for every workload seed.
+  EXPECT_LE(greedy.savings_p05, greedy.savings_p50);
+  EXPECT_LE(greedy.savings_p50, greedy.savings_p95);
+  EXPECT_GT(greedy.savings_p05, 0.0);
+
+  // The extra columns appear in CSV and table only when enabled.
+  EXPECT_NE(report.to_csv().find("savings_p05"), std::string::npos);
+  ScenarioOptions plain = opts;
+  plain.uncertainty_samples = 0;
+  EXPECT_EQ(run_scenarios(plain).to_csv().find("savings_p05"),
+            std::string::npos);
+}
+
+TEST(Sweep, SectionsAreValidatedAndRowsSummarize) {
+  SweepOptions opts;
+  opts.samples = 64;
+  opts.sections = {"embodied", "fleet"};
+  const SweepReport report = run_sweep(opts);
+  // Nine Table 1 parts + two fleet schedules.
+  ASSERT_EQ(report.rows.size(), 11u);
+  for (const auto& r : report.rows) {
+    EXPECT_EQ(r.samples, 64);
+    EXPECT_LE(r.p05, r.p50);
+    EXPECT_LE(r.p50, r.p95);
+    EXPECT_GT(r.stddev, 0.0);
+  }
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("section,quantity,unit"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 12);
+  EXPECT_EQ(report.section_table("embodied").rows(), 9u);
+  EXPECT_EQ(report.section_table("fleet").rows(), 2u);
+
+  SweepOptions bad;
+  bad.sections = {"astrology"};
+  EXPECT_THROW(run_sweep(bad), Error);
+  SweepOptions bad_region;
+  bad_region.samples = 8;
+  bad_region.sections = {"lifetime"};
+  bad_region.region = "ATLANTIS";
+  EXPECT_THROW(run_sweep(bad_region), Error);
+}
+
+TEST(Sweep, DeterministicForFixedSeed) {
+  SweepOptions opts;
+  opts.samples = 32;
+  opts.sections = {"breakeven"};
+  const SweepReport a = run_sweep(opts);
+  const SweepReport b = run_sweep(opts);
+  ASSERT_EQ(a.rows.size(), b.rows.size());
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rows[i].mean, b.rows[i].mean);
+    EXPECT_DOUBLE_EQ(a.rows[i].p95, b.rows[i].p95);
+    EXPECT_EQ(a.rows[i].extra, b.rows[i].extra);
+  }
 }
 
 }  // namespace

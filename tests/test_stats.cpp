@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -130,6 +131,58 @@ TEST(Stats, WelfordFewSamples) {
   w.add(5.0);
   EXPECT_DOUBLE_EQ(w.mean(), 5.0);
   EXPECT_DOUBLE_EQ(w.variance(), 0.0);
+}
+
+TEST(Stats, SummaryMatchesFreeFunctions) {
+  const std::vector<double> xs = {7.5, -1.0, 3.25, 3.25, 12.0, 0.5, 9.75};
+  const Summary s(xs);
+  EXPECT_EQ(s.count(), xs.size());
+  // Moments accumulate over the input order, so bit-identical.
+  EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+  EXPECT_DOUBLE_EQ(s.variance(), variance(xs));
+  EXPECT_DOUBLE_EQ(s.stddev(), stddev(xs));
+  EXPECT_DOUBLE_EQ(s.min(), min(xs));
+  EXPECT_DOUBLE_EQ(s.max(), max(xs));
+  for (double p : {0.0, 0.05, 0.25, 0.5, 0.62, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(s.quantile(p), quantile(xs, p)) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(s.median(), median(xs));
+  EXPECT_TRUE(std::is_sorted(s.sorted().begin(), s.sorted().end()));
+}
+
+TEST(Stats, SummaryOwningConstructorSortsAndKeepsMoments) {
+  std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  const double m = mean(xs);
+  const Summary s(std::move(xs));
+  EXPECT_DOUBLE_EQ(s.mean(), m);
+  EXPECT_EQ(s.sorted(), (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Stats, SummaryEdgeCases) {
+  const Summary empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_THROW(empty.mean(), Error);
+  EXPECT_THROW(empty.quantile(0.5), Error);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+
+  const Summary one(std::vector<double>{42.0});
+  EXPECT_DOUBLE_EQ(one.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(one.quantile(0.9), 42.0);
+  EXPECT_DOUBLE_EQ(one.stddev(), 0.0);
+
+  const Summary s(std::vector<double>{1.0, 2.0});
+  EXPECT_THROW(s.quantile(-0.1), Error);
+  EXPECT_THROW(s.quantile(1.1), Error);
+}
+
+TEST(Stats, BoxStatsMatchesSummaryQuantiles) {
+  const std::vector<double> xs = {3.0, 1.0, 9.0, 7.0, 5.0, 100.0};
+  const Summary s(xs);
+  const BoxStats b = box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.q1, s.quantile(0.25));
+  EXPECT_DOUBLE_EQ(b.median, s.median());
+  EXPECT_DOUBLE_EQ(b.q3, s.quantile(0.75));
+  EXPECT_DOUBLE_EQ(b.mean, s.mean());
 }
 
 }  // namespace

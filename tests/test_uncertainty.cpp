@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/error.h"
+#include "core/thread_pool.h"
 #include "embodied/catalog.h"
 #include "embodied/models.h"
 
@@ -85,6 +86,137 @@ TEST(Uncertainty, RejectsNonPositiveSamples) {
   EXPECT_THROW(
       propagate(memory(PartId::kDram64GbDdr4), UncertaintyBands{}, -4),
       Error);
+}
+
+TEST(Uncertainty, RejectsNegativeBands) {
+  UncertaintyBands bad;
+  bad.epc = -0.1;
+  EXPECT_THROW(validate(bad), Error);
+  EXPECT_THROW(propagate(memory(PartId::kDram64GbDdr4), bad, 64), Error);
+  bad = UncertaintyBands{};
+  bad.fab_per_area = -0.01;
+  EXPECT_THROW(propagate(processor(PartId::kA100Pcie40), bad, 64), Error);
+}
+
+TEST(Uncertainty, RejectsMultiplicativeBandsAboveOne) {
+  // A multiplicative half-width above 1 draws negative multipliers, i.e.
+  // negative embodied carbon.
+  UncertaintyBands bad;
+  bad.fab_per_area = 1.5;
+  EXPECT_THROW(propagate(processor(PartId::kA100Pcie40), bad, 64), Error);
+  bad = UncertaintyBands{};
+  bad.epc = 1.01;
+  EXPECT_THROW(propagate(memory(PartId::kHddExosX16_16Tb), bad, 64), Error);
+  bad = UncertaintyBands{};
+  bad.packaging = 2.0;
+  EXPECT_THROW(validate(bad), Error);
+  // Exactly 1 is the boundary: multipliers in [0, 2], still non-negative.
+  UncertaintyBands boundary;
+  boundary.packaging = 1.0;
+  EXPECT_NO_THROW(propagate(memory(PartId::kDram64GbDdr4), boundary, 64));
+}
+
+TEST(Uncertainty, RejectsYieldBandEscapingClamp) {
+  // yield 0.875 +/- 0.40 would spill below the sampler's 0.5 floor and be
+  // silently clamped, skewing the distribution — rejected instead.
+  UncertaintyBands wide;
+  wide.yield = 0.40;
+  EXPECT_THROW(propagate(processor(PartId::kA100Pcie40), wide, 64), Error);
+  // 0.875 + 0.20 > 1.0 spills over the ceiling.
+  UncertaintyBands high;
+  high.yield = 0.20;
+  EXPECT_THROW(propagate(processor(PartId::kV100Sxm2_32), high, 64), Error);
+  // The exact boundary is fine: 0.875 +/- 0.125 stays inside [0.75, 1.0].
+  UncertaintyBands boundary;
+  boundary.yield = 0.125;
+  EXPECT_NO_THROW(propagate(processor(PartId::kV100Sxm2_32), boundary, 64));
+  // Memory parts have no yield term; the band is not checked against one.
+  EXPECT_NO_THROW(propagate(memory(PartId::kDram64GbDdr4), wide, 64));
+}
+
+TEST(Uncertainty, DistributionBitIdenticalAcrossThreadCounts) {
+  // Acceptance criterion of the mc refactor: the executing pool's worker
+  // count must not leak into the sampled distribution.
+  ThreadPool serial(1);
+  ThreadPool many(6);
+  const auto& part = processor(PartId::kA100Pcie40);
+  const auto a = propagate_distribution(part, {}, {4096, 99, &serial});
+  const auto b = propagate_distribution(part, {}, {4096, 99, &many});
+  EXPECT_EQ(a.sorted(), b.sorted());
+
+  const auto& mem = memory(PartId::kSsdNytro3530_3_2Tb);
+  const auto ma = propagate_distribution(mem, {}, {4096, 7, &serial});
+  const auto mb = propagate_distribution(mem, {}, {4096, 7, &many});
+  EXPECT_EQ(ma.sorted(), mb.sorted());
+}
+
+TEST(Uncertainty, WrapperMatchesDistribution) {
+  const auto& part = processor(PartId::kMi250x);
+  const auto d = propagate_distribution(part, {}, {2048, 21, nullptr});
+  const auto r = propagate(part, {}, 2048, 21);
+  EXPECT_DOUBLE_EQ(r.mean.to_grams(), d.mean());
+  EXPECT_DOUBLE_EQ(r.stddev.to_grams(), d.stddev());
+  EXPECT_DOUBLE_EQ(r.p05.to_grams(), d.p05());
+  EXPECT_DOUBLE_EQ(r.p50.to_grams(), d.p50());
+  EXPECT_DOUBLE_EQ(r.p95.to_grams(), d.p95());
+  EXPECT_EQ(r.samples, 2048);
+}
+
+// Golden regression against the pre-refactor (hand-rolled-loop) propagate:
+// summary statistics for every Table 1 part over three seeds, captured at
+// 4096 samples before the mc::Engine refactor. The SplitMix64 substream
+// derivation deliberately replaced the ad-hoc xor derivation, so the match
+// is distributional (both sample the same model), not bit-exact: observed
+// drift is <= 0.35% on means, <= 0.6% on quantiles, <= 2.3% on stddevs.
+struct GoldenRow {
+  PartId id;
+  std::uint64_t seed;
+  double mean, sd, p05, p50, p95;
+};
+
+TEST(Uncertainty, GoldenRegressionSeedCorpus) {
+  const GoldenRow corpus[] = {
+    {PartId::kMi250x, 42, 3.2347886115e+04, 3.4441066596e+03, 2.6976293824e+04, 3.2334274941e+04, 3.7904100280e+04},
+    {PartId::kMi250x, 7, 3.2435110962e+04, 3.4217921235e+03, 2.7109778944e+04, 3.2374424965e+04, 3.7895185396e+04},
+    {PartId::kMi250x, 20230101, 3.2349026836e+04, 3.4791285230e+03, 2.6943612187e+04, 3.2320957624e+04, 3.7985501376e+04},
+    {PartId::kA100Pcie40, 42, 1.8116506918e+04, 1.8707849086e+03, 1.5195958160e+04, 1.8107191760e+04, 2.1104810486e+04},
+    {PartId::kA100Pcie40, 7, 1.8157145852e+04, 1.8584599127e+03, 1.5248536212e+04, 1.8125612719e+04, 2.1111243275e+04},
+    {PartId::kA100Pcie40, 20230101, 1.8111997130e+04, 1.8894702418e+03, 1.5171046324e+04, 1.8116249427e+04, 2.1168354171e+04},
+    {PartId::kV100Sxm2_32, 42, 1.3436570438e+04, 1.3854059431e+03, 1.1270659218e+04, 1.3430157846e+04, 1.5643729523e+04},
+    {PartId::kV100Sxm2_32, 7, 1.3466394770e+04, 1.3762639911e+03, 1.1311294425e+04, 1.3443127013e+04, 1.5654167349e+04},
+    {PartId::kV100Sxm2_32, 20230101, 1.3433027147e+04, 1.3992215482e+03, 1.1257890564e+04, 1.3436802886e+04, 1.5696699915e+04},
+    {PartId::kEpyc7763, 42, 1.2750595957e+04, 1.4344690300e+03, 1.0545812250e+04, 1.2731735318e+04, 1.5077983837e+04},
+    {PartId::kEpyc7763, 7, 1.2794554720e+04, 1.4249481072e+03, 1.0565060795e+04, 1.2767098410e+04, 1.5056334772e+04},
+    {PartId::kEpyc7763, 20230101, 1.2757050560e+04, 1.4488596545e+03, 1.0516523241e+04, 1.2745890121e+04, 1.5108949485e+04},
+    {PartId::kEpyc7742, 42, 1.1726917653e+04, 1.3114979961e+03, 9.7047502284e+03, 1.1715477402e+04, 1.3854654438e+04},
+    {PartId::kEpyc7742, 7, 1.1766431246e+04, 1.3028365665e+03, 9.7269594512e+03, 1.1744414005e+04, 1.3834045712e+04},
+    {PartId::kEpyc7742, 20230101, 1.1732279746e+04, 1.3247016773e+03, 9.6828080623e+03, 1.1723112417e+04, 1.3884053752e+04},
+    {PartId::kXeonGold6240R, 42, 9.5631490444e+03, 1.0840931048e+03, 7.8980321910e+03, 9.5446464451e+03, 1.1316685981e+04},
+    {PartId::kXeonGold6240R, 7, 9.5970697253e+03, 1.0768469420e+03, 7.9131534160e+03, 9.5792832606e+03, 1.1306796391e+04},
+    {PartId::kXeonGold6240R, 20230101, 9.5685863225e+03, 1.0949128564e+03, 7.8792935659e+03, 9.5619993835e+03, 1.1348914202e+04},
+    {PartId::kDram64GbDdr4, 42, 7.1534995529e+03, 5.6643547412e+02, 6.2170869122e+03, 7.1471420454e+03, 8.1192176626e+03},
+    {PartId::kDram64GbDdr4, 7, 7.1632765952e+03, 5.5804688473e+02, 6.2215092123e+03, 7.1728842513e+03, 8.0899856387e+03},
+    {PartId::kDram64GbDdr4, 20230101, 7.1781090204e+03, 5.5946228937e+02, 6.2355137093e+03, 7.1752767619e+03, 8.1170311709e+03},
+    {PartId::kSsdNytro3530_3_2Tb, 42, 2.0253776501e+04, 1.7635667430e+03, 1.7520764707e+04, 2.0192783224e+04, 2.3027007053e+04},
+    {PartId::kSsdNytro3530_3_2Tb, 7, 2.0316356001e+04, 1.7505012524e+03, 1.7576815343e+04, 2.0316274787e+04, 2.3006269163e+04},
+    {PartId::kSsdNytro3530_3_2Tb, 20230101, 2.0291111990e+04, 1.7692148100e+03, 1.7551331652e+04, 2.0317682956e+04, 2.3031252891e+04},
+    {PartId::kHddExosX16_16Tb, 42, 2.1688826688e+04, 1.8885215525e+03, 1.8762171546e+04, 2.1623511826e+04, 2.4658550226e+04},
+    {PartId::kHddExosX16_16Tb, 7, 2.1755840162e+04, 1.8745303267e+03, 1.8822193564e+04, 2.1755753193e+04, 2.4636342985e+04},
+    {PartId::kHddExosX16_16Tb, 20230101, 2.1728807525e+04, 1.8945698046e+03, 1.8794904265e+04, 2.1757261137e+04, 2.4663096896e+04},
+  };
+  for (const auto& g : corpus) {
+    const UncertaintyResult r =
+        is_processor(g.id)
+            ? propagate(processor(g.id), UncertaintyBands{}, 4096, g.seed)
+            : propagate(memory(g.id), UncertaintyBands{}, 4096, g.seed);
+    const std::string ctx = std::string(display_name(g.id)) + " seed " +
+                            std::to_string(g.seed);
+    EXPECT_NEAR(r.mean.to_grams() / g.mean, 1.0, 0.01) << ctx;
+    EXPECT_NEAR(r.stddev.to_grams() / g.sd, 1.0, 0.05) << ctx;
+    EXPECT_NEAR(r.p05.to_grams() / g.p05, 1.0, 0.015) << ctx;
+    EXPECT_NEAR(r.p50.to_grams() / g.p50, 1.0, 0.015) << ctx;
+    EXPECT_NEAR(r.p95.to_grams() / g.p95, 1.0, 0.015) << ctx;
+  }
 }
 
 }  // namespace
