@@ -17,6 +17,7 @@
 #include "cli/registry.h"
 #include "cli/scenario_runner.h"
 #include "cli/sweep.h"
+#include "cli/trace_tool.h"
 #include "core/csv.h"
 #include "core/error.h"
 #include "core/table.h"
@@ -44,6 +45,8 @@ int usage(std::ostream& out, int exit_code) {
          "2.5)\n"
          "      [--uncertainty N]        add savings quantiles over N "
          "workload seeds\n"
+         "      [--trace-csv REGION=FILE] drive a region with an imported "
+         "grid CSV\n"
          "      [--csv PATH]             also write the merged report as "
          "CSV\n"
          "      [--threads N]            worker threads (default: max(cores, "
@@ -63,8 +66,11 @@ int usage(std::ostream& out, int exit_code) {
          "      [--horizon Y]            break-even payback horizon (default "
          "15)\n"
          "      [--seed S] [--smoke] [--csv PATH] [--threads N]\n"
-         "      [--band-fab X] [--band-yield X] [--band-epc X]\n"
-         "      [--band-packaging X] [--band-grid X]   input half-widths\n"
+         "      [--trace-csv REGION=FILE] [--band-fab X] [--band-yield X]\n"
+         "      [--band-epc X] [--band-packaging X] [--band-grid X]\n"
+         "  trace <verb> <file>          import/inspect a real grid-trace "
+         "CSV\n"
+         "      stats|resample|export    (see `hpcarbon trace help`)\n"
          "  bench <name> [args...]       run one figure/table/ablation "
          "bench\n"
          "  example <name> [args...]     run one example\n"
@@ -185,6 +191,9 @@ int cmd_run(int argc, char** argv) {
         throw Error("--uncertainty expects a positive integer sample count");
       }
       opts.uncertainty_samples = static_cast<int>(n);
+    } else if (arg == "--trace-csv") {
+      opts.trace_csv.push_back(
+          parse_trace_override(next_value("--trace-csv")));
     } else if (arg == "--csv") {
       csv_path = next_value("--csv");
     } else if (arg == "--threads") {
@@ -220,7 +229,11 @@ int cmd_run(int argc, char** argv) {
   std::cout << report.jobs << " jobs over "
             << static_cast<int>(opts.horizon_days) << " days; "
             << report.rows.size() << " scenario cells on "
-            << report.worker_threads_used << " worker threads\n\n";
+            << report.worker_threads_used << " worker threads\n";
+  for (const auto& note : report.trace_notes) {
+    std::cout << "trace override: " << note << '\n';
+  }
+  std::cout << '\n';
   std::cout << report.to_table().to_string();
   if (!csv_path.empty()) {
     write_file(csv_path, report.to_csv());
@@ -239,6 +252,7 @@ int dispatch(int argc, char** argv) {
   if (cmd == "policies") return cmd_policies();
   if (cmd == "run") return cmd_run(argc - 2, argv + 2);
   if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
+  if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   if (cmd == "bench" || cmd == "example") {
     if (argc < 3) {
       std::cerr << "hpcarbon " << cmd << ": missing tool name\n";

@@ -6,10 +6,12 @@
 #include <sstream>
 #include <thread>
 
+#include "core/csv.h"
 #include "core/error.h"
 #include "core/stats.h"
 #include "core/thread_pool.h"
 #include "grid/analysis.h"
+#include "grid/import.h"
 #include "grid/presets.h"
 #include "grid/simulator.h"
 #include "mc/engine.h"
@@ -20,9 +22,7 @@ namespace hpcarbon::cli {
 namespace {
 
 grid::RegionSpec spec_for_code(const std::string& code) {
-  for (const auto& spec : grid::all_regions()) {
-    if (spec.code == code) return spec;
-  }
+  if (const auto spec = grid::find_region(code)) return *spec;
   std::string known;
   for (const auto& c : region_codes()) known += (known.empty() ? "" : ", ") + c;
   throw Error("unknown region code '" + code + "' (known: " + known + ")");
@@ -30,10 +30,45 @@ grid::RegionSpec spec_for_code(const std::string& code) {
 
 }  // namespace
 
+std::pair<std::string, std::string> parse_trace_override(
+    const std::string& spec) {
+  const std::size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+    throw Error("--trace-csv expects REGION=path, got '" + spec + "'");
+  }
+  return {spec.substr(0, eq), spec.substr(eq + 1)};
+}
+
+std::vector<grid::CarbonIntensityTrace> traces_for(
+    const std::vector<grid::RegionSpec>& specs,
+    const TraceOverrides& overrides, std::vector<std::string>* notes) {
+  auto traces = grid::generate_traces(specs);
+  for (const auto& [code, path] : overrides) {
+    bool applied = false;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      if (specs[i].code != code) continue;
+      grid::ImportOptions io;
+      io.tz = specs[i].tz;  // file rows are the region's local time
+      grid::ImportReport report;
+      traces[i] = grid::import_trace_file(path, code, io, &report);
+      if (notes != nullptr) {
+        notes->push_back(code + " <- " + path + ": " + report.to_string());
+      }
+      applied = true;
+      break;
+    }
+    if (!applied) {
+      std::string known;
+      for (const auto& s : specs) known += (known.empty() ? "" : ", ") + s.code;
+      throw Error("--trace-csv override for '" + code +
+                  "' matches no selected region (selected: " + known + ")");
+    }
+  }
+  return traces;
+}
+
 std::vector<std::string> region_codes() {
-  std::vector<std::string> codes;
-  for (const auto& spec : grid::all_regions()) codes.push_back(spec.code);
-  return codes;
+  return grid::codes_of(grid::all_regions());
 }
 
 std::vector<std::string> policy_names() {
@@ -82,9 +117,11 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
     }
   }
 
-  // Stage 1 — one 8760-hour trace per region, generated in parallel on the
-  // global pool.
-  const auto traces = grid::generate_traces(specs);
+  // Stage 1 — one year-long trace per region, generated in parallel on the
+  // global pool; --trace-csv overrides swap in imported real data at its
+  // native cadence (the whole downstream matrix is resolution-agnostic).
+  std::vector<std::string> trace_notes;
+  const auto traces = traces_for(specs, opts.trace_csv, &trace_notes);
   const auto summaries = grid::summarize(traces);
 
   // Cleanest-first region order (by annual median CI) decides which sites
@@ -117,6 +154,7 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
 
   // Stage 2 — the (region x policy) ablation matrix on the global pool.
   ScenarioReport report;
+  report.trace_notes = std::move(trace_notes);
   report.jobs = jobs.size();
   report.rows.resize(specs.size() * policies.size());
 
@@ -228,26 +266,32 @@ TextTable ScenarioReport::to_table() const {
 }
 
 std::string ScenarioReport::to_csv() const {
-  std::ostringstream out;
-  out << "region,policy,median_ci_g_per_kwh,cov_percent,carbon_kg,"
-         "savings_vs_fcfs_pct,mean_wait_hours,p95_wait_hours,"
-         "remote_dispatches,jobs_completed";
+  // Emission goes through csv_row so string cells (region/policy names)
+  // stay RFC-4180 parseable even if a registered policy name ever carries
+  // a comma or quote.
+  std::vector<std::string> header = {
+      "region", "policy", "median_ci_g_per_kwh", "cov_percent", "carbon_kg",
+      "savings_vs_fcfs_pct", "mean_wait_hours", "p95_wait_hours",
+      "remote_dispatches", "jobs_completed"};
   if (uncertainty_samples > 0) {
-    out << ",savings_p05,savings_p50,savings_p95";
+    header.insert(header.end(), {"savings_p05", "savings_p50", "savings_p95"});
   }
-  out << '\n';
+  std::string out = csv_row(header);
   for (const auto& r : rows) {
-    out << r.region << ',' << r.policy << ',' << r.median_ci_g_per_kwh << ','
-        << r.cov_percent << ',' << r.carbon_kg << ',' << r.savings_vs_fcfs_pct
-        << ',' << r.mean_wait_hours << ',' << r.p95_wait_hours << ','
-        << r.remote_dispatches << ',' << r.jobs_completed;
+    std::vector<std::string> cells = {
+        r.region, r.policy, csv_num(r.median_ci_g_per_kwh),
+        csv_num(r.cov_percent), csv_num(r.carbon_kg),
+        csv_num(r.savings_vs_fcfs_pct), csv_num(r.mean_wait_hours),
+        csv_num(r.p95_wait_hours), std::to_string(r.remote_dispatches),
+        std::to_string(r.jobs_completed)};
     if (uncertainty_samples > 0) {
-      out << ',' << r.savings_p05 << ',' << r.savings_p50 << ','
-          << r.savings_p95;
+      cells.insert(cells.end(), {csv_num(r.savings_p05),
+                                 csv_num(r.savings_p50),
+                                 csv_num(r.savings_p95)});
     }
-    out << '\n';
+    out += csv_row(cells);
   }
-  return out.str();
+  return out;
 }
 
 }  // namespace hpcarbon::cli

@@ -11,12 +11,31 @@
 
 #include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/table.h"
+#include "grid/region.h"
+#include "grid/trace.h"
 #include "sched/simulator.h"
 
 namespace hpcarbon::cli {
+
+/// (region code, CSV path) pairs from `--trace-csv REGION=path`: the named
+/// region's synthetic trace is replaced by the imported file.
+using TraceOverrides = std::vector<std::pair<std::string, std::string>>;
+
+/// Split "ESO=grid.csv" into {"ESO", "grid.csv"}; throws on a missing '='.
+std::pair<std::string, std::string> parse_trace_override(
+    const std::string& spec);
+
+/// Generate the regions' synthetic traces, then swap in any override whose
+/// code matches a spec (imported in that region's local zone, at the file's
+/// native cadence). Appends one human-readable import note per override to
+/// `notes` when given.
+std::vector<grid::CarbonIntensityTrace> traces_for(
+    const std::vector<grid::RegionSpec>& specs, const TraceOverrides& overrides,
+    std::vector<std::string>* notes = nullptr);
 
 struct ScenarioOptions {
   /// Table 3 region codes (KN, TK, ESO, CISO, PJM, MISO, ERCOT).
@@ -37,6 +56,8 @@ struct ScenarioOptions {
   int uncertainty_samples = 0;
   /// Root seed of the per-sample workload seeds (mc::substream-derived).
   std::uint64_t uncertainty_seed = 909;
+  /// Real grid-data overrides; every entry must name a selected region.
+  TraceOverrides trace_csv;
 };
 
 struct ScenarioRow {
@@ -64,6 +85,8 @@ struct ScenarioReport {
   int uncertainty_samples = 0;
   /// Distinct pool worker threads that executed scenario cells.
   std::size_t worker_threads_used = 0;
+  /// One line per --trace-csv override ("ESO <- grid.csv: ...").
+  std::vector<std::string> trace_notes;
 
   TextTable to_table() const;
   std::string to_csv() const;

@@ -42,10 +42,22 @@ SweepRow make_row(std::string section, std::string quantity, std::string unit,
 }
 
 grid::RegionSpec region_spec(const std::string& code) {
-  for (const auto& spec : grid::all_regions()) {
-    if (spec.code == code) return spec;
-  }
+  if (const auto spec = grid::find_region(code)) return *spec;
   throw Error("unknown region code '" + code + "' (see `hpcarbon list`)");
+}
+
+/// The subset of --trace-csv overrides naming one of `codes` (sections use
+/// different region sets, and an override that matches no section at all is
+/// rejected up front in run_sweep).
+TraceOverrides overrides_matching(const SweepOptions& opts,
+                                  const std::vector<std::string>& codes) {
+  TraceOverrides out;
+  for (const auto& ov : opts.trace_csv) {
+    if (std::find(codes.begin(), codes.end(), ov.first) != codes.end()) {
+      out.push_back(ov);
+    }
+  }
+  return out;
 }
 
 lifecycle::UpgradeScenario upgrade_scenario() {
@@ -75,7 +87,8 @@ void sweep_embodied(const SweepOptions& opts, SweepReport& report) {
 
 void sweep_lifetime(const SweepOptions& opts, SweepReport& report) {
   const mc::SamplePlan plan{opts.samples, opts.seed, nullptr};
-  const auto traces = grid::generate_traces({region_spec(opts.region)});
+  const auto traces = traces_for({region_spec(opts.region)},
+                                 overrides_matching(opts, {opts.region}));
   const HourOfYear start(month_start_hour(5));  // June 1, as in `run`
   for (const auto& node : {hw::v100_node(), hw::a100_node()}) {
     const auto d = lifecycle::node_lifetime_footprint_distribution(
@@ -138,7 +151,9 @@ void sweep_fleet(const SweepOptions& opts, SweepReport& report) {
 void sweep_sched(const SweepOptions& opts, SweepReport& report) {
   // The bench_sched_ablation setting: dirtiest Fig. 7 region (ERCOT) is
   // home, ESO and CISO are the remote options, four June weeks of jobs.
-  const auto traces = grid::generate_traces(grid::fig7_regions());
+  const auto traces = traces_for(
+      grid::fig7_regions(),
+      overrides_matching(opts, grid::codes_of(grid::fig7_regions())));
   const std::vector<sched::Site> sites = {
       sched::make_site("ERCOT", traces[2], 16),
       sched::make_site("ESO", traces[0], 16),
@@ -212,6 +227,26 @@ SweepReport run_sweep(const SweepOptions& opts) {
     }
   }
 
+  // Every --trace-csv override must land somewhere in the selected
+  // sections: the lifetime section prices opts.region, sched the Fig. 7
+  // trio. Anything else is a typo, not a no-op.
+  for (const auto& ov : opts.trace_csv) {
+    std::vector<std::string> used;
+    if (std::find(sections.begin(), sections.end(), "lifetime") !=
+        sections.end()) {
+      used.push_back(opts.region);
+    }
+    if (std::find(sections.begin(), sections.end(), "sched") !=
+        sections.end()) {
+      const auto fig7 = grid::codes_of(grid::fig7_regions());
+      used.insert(used.end(), fig7.begin(), fig7.end());
+    }
+    if (std::find(used.begin(), used.end(), ov.first) == used.end()) {
+      throw Error("--trace-csv override for '" + ov.first +
+                  "' matches no region used by the selected sections");
+    }
+  }
+
   SweepReport report;
   for (const auto& s : sections) {
     if (s == "embodied") sweep_embodied(opts, report);
@@ -238,16 +273,19 @@ TextTable SweepReport::section_table(const std::string& section) const {
 }
 
 std::string SweepReport::to_csv() const {
-  std::ostringstream out;
-  out << "section,quantity,unit,samples,mean,stddev,p05,p25,p50,p75,p95,"
-         "extra\n";
+  // csv_row escapes the string cells: break-even `extra` annotations carry
+  // no commas today, but quantity labels are free-form and must stay
+  // RFC-4180 parseable whatever they grow to contain.
+  std::string out =
+      csv_row({"section", "quantity", "unit", "samples", "mean", "stddev",
+               "p05", "p25", "p50", "p75", "p95", "extra"});
   for (const auto& r : rows) {
-    out << r.section << ',' << r.quantity << ',' << r.unit << ','
-        << r.samples << ',' << r.mean << ',' << r.stddev << ',' << r.p05
-        << ',' << r.p25 << ',' << r.p50 << ',' << r.p75 << ',' << r.p95
-        << ',' << r.extra << '\n';
+    out += csv_row({r.section, r.quantity, r.unit, std::to_string(r.samples),
+                    csv_num(r.mean), csv_num(r.stddev), csv_num(r.p05),
+                    csv_num(r.p25), csv_num(r.p50), csv_num(r.p75),
+                    csv_num(r.p95), r.extra});
   }
-  return out.str();
+  return out;
 }
 
 int cmd_sweep(int argc, char** argv) {
@@ -320,6 +358,9 @@ int cmd_sweep(int argc, char** argv) {
       opts.bands.embodied.packaging = next_number("--band-packaging");
     } else if (arg == "--band-grid") {
       opts.bands.grid_ci = next_number("--band-grid");
+    } else if (arg == "--trace-csv") {
+      opts.trace_csv.push_back(
+          parse_trace_override(next_value("--trace-csv")));
     } else if (arg == "--csv") {
       csv_path = next_value("--csv");
     } else if (arg == "--threads") {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/scenario_runner.h"
 #include "core/table.h"
 #include "lifecycle/uncertainty.h"
 
@@ -35,6 +36,9 @@ struct SweepOptions {
   double lifetime_years = 5.0;
   double breakeven_horizon_years = 15.0;
   lifecycle::LifecycleBands bands;
+  /// Real grid-data overrides (`--trace-csv REGION=path`), applied to any
+  /// trace the lifetime and sched sections generate for a matching region.
+  TraceOverrides trace_csv;
 };
 
 /// One summarized quantity. `extra` carries section-specific annotations

@@ -62,17 +62,35 @@ bool parse_double(const std::string& s, double* out) {
 
 }  // namespace
 
-CsvData parse_csv(const std::string& text) {
-  CsvData data;
+CsvTable parse_csv_table(const std::string& text) {
+  CsvTable table;
   std::istringstream in(text);
   std::string line;
-  bool first = true;
   std::size_t expected_cols = 0;
   std::size_t line_no = 0;  // 1-based, counting blank lines too
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line == "\r") continue;
     auto cells = split_line(line, line_no);
+    if (table.rows.empty()) {
+      expected_cols = cells.size();
+    }
+    HPC_REQUIRE(cells.size() == expected_cols,
+                "ragged CSV row " + std::to_string(line_no) + ": got " +
+                    std::to_string(cells.size()) + " cells, expected " +
+                    std::to_string(expected_cols));
+    table.rows.push_back(std::move(cells));
+    table.line_numbers.push_back(line_no);
+  }
+  return table;
+}
+
+CsvData parse_csv(const std::string& text) {
+  const CsvTable table = parse_csv_table(text);
+  CsvData data;
+  bool first = true;
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& cells = table.rows[r];
     if (first) {
       first = false;
       bool all_numeric = true;
@@ -83,16 +101,11 @@ CsvData parse_csv(const std::string& text) {
           break;
         }
       }
-      expected_cols = cells.size();
       if (!all_numeric) {
         data.header = cells;
         continue;
       }
     }
-    HPC_REQUIRE(cells.size() == expected_cols,
-                "ragged CSV row " + std::to_string(line_no) + ": got " +
-                    std::to_string(cells.size()) + " cells, expected " +
-                    std::to_string(expected_cols));
     std::vector<double> row;
     row.reserve(cells.size());
     for (const auto& c : cells) {
@@ -119,12 +132,40 @@ void write_file(const std::string& path, const std::string& content) {
   out << content;
 }
 
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\r\n") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (const char ch : cell) {
+    if (ch == '"') out.push_back('"');
+    out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_row(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += csv_escape(cells[i]);
+  }
+  out.push_back('\n');
+  return out;
+}
+
+std::string csv_num(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
 std::string to_csv_column(const std::string& name,
                           const std::vector<double>& values) {
-  std::ostringstream out;
-  out << name << '\n';
-  for (double v : values) out << v << '\n';
-  return out.str();
+  std::string out = csv_row({name});
+  for (double v : values) out += csv_row({csv_num(v)});
+  return out;
 }
 
 }  // namespace hpcarbon

@@ -1,0 +1,113 @@
+#include "core/series.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace hpcarbon {
+
+StepSeries::StepSeries(std::vector<double> values, double step_seconds)
+    : values_(std::move(values)), step_seconds_(step_seconds) {
+  HPC_REQUIRE(!values_.empty(), "series needs at least one sample");
+  HPC_REQUIRE(std::isfinite(step_seconds_) && step_seconds_ > 0.0,
+              "series step must be positive and finite");
+  for (double v : values_) {
+    HPC_REQUIRE(std::isfinite(v), "series values must be finite");
+  }
+  step_hours_ = step_seconds_ / kSecondsPerHour;
+  // Computed as (n * step_s) / 3600 rather than n * step_hours so that any
+  // step with an integral number of seconds per period gives an exact
+  // period (8760.0 for hourly, 5-minute, and 15-minute years alike).
+  period_hours_ =
+      static_cast<double>(values_.size()) * step_seconds_ / kSecondsPerHour;
+  prefix_.resize(values_.size() + 1);
+  prefix_[0] = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    prefix_[i + 1] = prefix_[i] + values_[i] * step_hours_;
+  }
+}
+
+StepSeries StepSeries::hourly(std::vector<double> values) {
+  return StepSeries(std::move(values), kSecondsPerHour);
+}
+
+std::size_t StepSeries::index_at_hours(double hours) const {
+  HPC_REQUIRE(!empty(), "lookup on an empty series");
+  HPC_REQUIRE(std::isfinite(hours), "lookup instant must be finite");
+  double h = std::fmod(hours, period_hours_);
+  if (h < 0.0) h += period_hours_;
+  auto i = static_cast<std::size_t>(h / step_hours_);
+  // Floating-point division can land exactly on size() when h is within one
+  // ulp of the period; clamp to the final sample.
+  return i < values_.size() ? i : values_.size() - 1;
+}
+
+double StepSeries::cumulative(double hours) const {
+  const double pos = hours / step_hours_;
+  auto i = static_cast<std::size_t>(pos);  // pos >= 0 by contract
+  if (i >= values_.size()) return prefix_.back();
+  const double frac = pos - static_cast<double>(i);
+  double c = prefix_[i];
+  if (frac > 0.0) c += values_[i] * frac * step_hours_;
+  return c;
+}
+
+double StepSeries::integral(double start_hours, double duration_hours) const {
+  HPC_REQUIRE(!empty(), "integral over an empty series");
+  HPC_REQUIRE(std::isfinite(start_hours) && std::isfinite(duration_hours) &&
+                  duration_hours >= 0.0,
+              "interval must be finite with non-negative duration");
+  double s = std::fmod(start_hours, period_hours_);
+  if (s < 0.0) s += period_hours_;
+  const double full_periods = std::floor(duration_hours / period_hours_);
+  const double d = duration_hours - full_periods * period_hours_;
+  double acc = full_periods * prefix_.back();
+  const double e = s + d;
+  if (e <= period_hours_) {
+    acc += cumulative(e) - cumulative(s);
+  } else {
+    acc += (prefix_.back() - cumulative(s)) + cumulative(e - period_hours_);
+  }
+  return acc;
+}
+
+double StepSeries::mean(double start_hours, double duration_hours) const {
+  HPC_REQUIRE(duration_hours > 0.0, "mean needs a positive duration");
+  return integral(start_hours, duration_hours) / duration_hours;
+}
+
+StepSeries StepSeries::resampled(double new_step_seconds) const {
+  HPC_REQUIRE(!empty(), "resample of an empty series");
+  HPC_REQUIRE(std::isfinite(new_step_seconds) && new_step_seconds > 0.0,
+              "resample step must be positive and finite");
+  const double period_seconds =
+      static_cast<double>(values_.size()) * step_seconds_;
+  const double count = period_seconds / new_step_seconds;
+  const auto n = static_cast<std::size_t>(std::llround(count));
+  HPC_REQUIRE(n > 0 && std::abs(count - static_cast<double>(n)) < 1e-9,
+              "resample step must divide the series period evenly");
+  if (n == values_.size()) return *this;
+  const double new_step_hours = new_step_seconds / kSecondsPerHour;
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = integral(static_cast<double>(i) * new_step_hours,
+                      new_step_hours) /
+             new_step_hours;
+  }
+  return StepSeries(std::move(out), new_step_seconds);
+}
+
+StepSeries StepSeries::rotated(long steps) const {
+  HPC_REQUIRE(!empty(), "rotate of an empty series");
+  const auto n = static_cast<long>(values_.size());
+  long shift = steps % n;
+  if (shift < 0) shift += n;
+  std::vector<double> out(values_.size());
+  for (long i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        values_[static_cast<std::size_t>((i + shift) % n)];
+  }
+  return StepSeries(std::move(out), step_seconds_);
+}
+
+}  // namespace hpcarbon

@@ -23,6 +23,20 @@ std::vector<RegionSummary> summarize(
   return out;
 }
 
+namespace {
+
+/// The comparison value of one local hour: the stored sample for hourly
+/// traces (unchanged pre-StepSeries behaviour), the hour's mean for finer
+/// cadences (a 5-minute import competes on its hour-average intensity).
+double hour_value(const CarbonIntensityTrace& trace, int hour) {
+  if (trace.hourly()) {
+    return trace.values()[static_cast<std::size_t>(hour)];
+  }
+  return trace.mean_over(HourOfYear(hour), Hours::hours(1.0)).to_g_per_kwh();
+}
+
+}  // namespace
+
 HourlyWinners hourly_lowest_ci(const std::vector<CarbonIntensityTrace>& traces,
                                TimeZone reference_tz) {
   HPC_REQUIRE(traces.size() >= 2, "need at least two regions to compare");
@@ -37,11 +51,11 @@ HourlyWinners hourly_lowest_ci(const std::vector<CarbonIntensityTrace>& traces,
 
   for (int d = 0; d < kDaysPerYear; ++d) {
     for (int h = 0; h < kHoursPerDay; ++h) {
-      const auto idx = static_cast<std::size_t>(d * kHoursPerDay + h);
+      const int hour = d * kHoursPerDay + h;
       double best = std::numeric_limits<double>::infinity();
       std::size_t winner = 0;
       for (std::size_t r = 0; r < aligned.size(); ++r) {
-        const double v = aligned[r].values()[idx];
+        const double v = hour_value(aligned[r], hour);
         if (v < best) {
           best = v;
           winner = r;
@@ -69,10 +83,7 @@ double fraction_lower(const CarbonIntensityTrace& a,
   const auto bu = b.to_time_zone(kUtc);
   int lower = 0;
   for (int i = 0; i < kHoursPerYear; ++i) {
-    if (au.values()[static_cast<std::size_t>(i)] <
-        bu.values()[static_cast<std::size_t>(i)]) {
-      ++lower;
-    }
+    if (hour_value(au, i) < hour_value(bu, i)) ++lower;
   }
   return static_cast<double>(lower) / kHoursPerYear;
 }

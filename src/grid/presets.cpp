@@ -191,4 +191,18 @@ std::vector<RegionSpec> all_regions() {
 
 std::vector<RegionSpec> fig7_regions() { return {eso(), ciso(), ercot()}; }
 
+std::optional<RegionSpec> find_region(const std::string& code) {
+  for (const auto& spec : all_regions()) {
+    if (spec.code == code) return spec;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> codes_of(const std::vector<RegionSpec>& specs) {
+  std::vector<std::string> codes;
+  codes.reserve(specs.size());
+  for (const auto& spec : specs) codes.push_back(spec.code);
+  return codes;
+}
+
 }  // namespace hpcarbon::grid

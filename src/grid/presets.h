@@ -14,6 +14,8 @@
 // lowest CoV, etc.). The calibration is asserted by tests/test_presets.cpp.
 #pragma once
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "grid/region.h"
@@ -33,5 +35,14 @@ std::vector<RegionSpec> all_regions();
 
 /// The three most carbon-friendly regions compared hour-by-hour in Fig. 7.
 std::vector<RegionSpec> fig7_regions();  // ESO, CISO, ERCOT
+
+/// Preset lookup by Table 3 code; nullopt for unknown codes. The single
+/// source for "is this a known region" — CLI validation, trace imports,
+/// and the sweep sections all resolve codes through here.
+std::optional<RegionSpec> find_region(const std::string& code);
+
+/// The codes of a spec list, in order (e.g. fig7_regions() -> {"ESO",
+/// "CISO", "ERCOT"}).
+std::vector<std::string> codes_of(const std::vector<RegionSpec>& specs);
 
 }  // namespace hpcarbon::grid

@@ -9,61 +9,41 @@
 
 namespace hpcarbon::grid {
 
-HourlyPrefixSum::HourlyPrefixSum(std::vector<double> hourly_values)
-    : hourly_(std::move(hourly_values)) {
-  HPC_REQUIRE(hourly_.size() == kHoursPerYear,
-              "prefix sum must cover exactly one year (8760 hours)");
-  prefix_.resize(hourly_.size() + 1);
-  prefix_[0] = 0.0;
-  for (std::size_t i = 0; i < hourly_.size(); ++i) {
-    prefix_[i + 1] = prefix_[i] + hourly_[i];
+namespace {
+
+/// Samples per hour when the step divides one hour evenly, else 0.
+std::size_t samples_per_hour(double step_seconds) {
+  const double n = kSecondsPerHour / step_seconds;
+  const auto rounded = static_cast<std::size_t>(std::llround(n));
+  if (rounded >= 1 && std::abs(n - static_cast<double>(rounded)) < 1e-9) {
+    return rounded;
   }
+  return 0;
 }
 
-double HourlyPrefixSum::cumulative(double hour) const {
-  const auto i = static_cast<std::size_t>(hour);  // hour >= 0 by contract
-  const double frac = hour - static_cast<double>(i);
-  double c = prefix_[i];
-  if (frac > 0.0) c += hourly_[i] * frac;
-  return c;
-}
-
-double HourlyPrefixSum::integral(double start_hour,
-                                 double duration_hours) const {
-  HPC_REQUIRE(!empty(), "integral over an empty prefix sum");
-  HPC_REQUIRE(std::isfinite(start_hour) && std::isfinite(duration_hours) &&
-                  duration_hours >= 0.0,
-              "interval must be finite with non-negative duration");
-  double s = std::fmod(start_hour, static_cast<double>(kHoursPerYear));
-  if (s < 0.0) s += kHoursPerYear;
-  const double full_years = std::floor(duration_hours / kHoursPerYear);
-  const double d = duration_hours - full_years * kHoursPerYear;
-  double acc = full_years * prefix_.back();
-  const double e = s + d;
-  if (e <= kHoursPerYear) {
-    acc += cumulative(e) - cumulative(s);
-  } else {
-    acc += (prefix_.back() - cumulative(s)) + cumulative(e - kHoursPerYear);
-  }
-  return acc;
-}
+}  // namespace
 
 CarbonIntensityTrace::CarbonIntensityTrace(std::string region_code,
                                            TimeZone tz,
-                                           std::vector<double> values)
-    : region_code_(std::move(region_code)), tz_(tz), values_(std::move(values)) {
-  HPC_REQUIRE(values_.size() == kHoursPerYear,
-              "trace must cover exactly one year (8760 hours)");
-  for (double v : values_) {
+                                           std::vector<double> values,
+                                           double step_seconds)
+    : region_code_(std::move(region_code)), tz_(tz) {
+  HPC_REQUIRE(std::isfinite(step_seconds) && step_seconds > 0.0,
+              "trace step must be positive and finite");
+  HPC_REQUIRE(static_cast<double>(values.size()) * step_seconds ==
+                  kSecondsPerYear,
+              "trace must cover exactly one year (size * step == " +
+                  std::to_string(kHoursPerYear) + " hours; hourly traces "
+                  "need 8760 samples)");
+  for (double v : values) {
     HPC_REQUIRE(std::isfinite(v) && v >= 0.0,
                 "carbon intensity must be finite and non-negative");
   }
-  cumulative_ = HourlyPrefixSum(values_);
+  series_ = StepSeries(std::move(values), step_seconds);
 }
 
 CarbonIntensity CarbonIntensityTrace::at(HourOfYear local_hour) const {
-  return CarbonIntensity::grams_per_kwh(
-      values_[static_cast<std::size_t>(local_hour.index())]);
+  return at_hours(static_cast<double>(local_hour.index()));
 }
 
 CarbonIntensity CarbonIntensityTrace::at(HourOfYear hour,
@@ -71,16 +51,22 @@ CarbonIntensity CarbonIntensityTrace::at(HourOfYear hour,
   return at(hour.convert(hour_zone, tz_));
 }
 
+CarbonIntensity CarbonIntensityTrace::at_hours(double local_hours) const {
+  return CarbonIntensity::grams_per_kwh(series_.at_hours(local_hours));
+}
+
 CarbonIntensityTrace CarbonIntensityTrace::to_time_zone(TimeZone target) const {
-  std::vector<double> rotated(values_.size());
-  for (int i = 0; i < kHoursPerYear; ++i) {
-    // Local hour i in `target` corresponds to this trace's local hour
-    // i shifted by (tz_ - target).
-    const HourOfYear src = HourOfYear(i).convert(target, tz_);
-    rotated[static_cast<std::size_t>(i)] =
-        values_[static_cast<std::size_t>(src.index())];
-  }
-  return CarbonIntensityTrace(region_code_, target, std::move(rotated));
+  // Local time i in `target` corresponds to this trace's local time
+  // i shifted by (tz_ - target) hours; shift at sample granularity.
+  const double shift_seconds =
+      (tz_.utc_offset_hours() - target.utc_offset_hours()) * kSecondsPerHour;
+  const double steps = shift_seconds / step_seconds();
+  const auto whole = static_cast<long>(std::llround(steps));
+  HPC_REQUIRE(std::abs(steps - static_cast<double>(whole)) < 1e-9,
+              "time-zone shift is not a whole number of trace samples");
+  return CarbonIntensityTrace(region_code_, target,
+                              series_.rotated(whole).values(),
+                              step_seconds());
 }
 
 CarbonIntensity CarbonIntensityTrace::mean_over(HourOfYear start,
@@ -93,18 +79,35 @@ CarbonIntensity CarbonIntensityTrace::mean_over(HourOfYear start,
 
 double CarbonIntensityTrace::interval_sum(double start_hour,
                                           double duration_hours) const {
-  return cumulative_.integral(start_hour, duration_hours);
+  return series_.integral(start_hour, duration_hours);
+}
+
+CarbonIntensityTrace CarbonIntensityTrace::resampled(
+    double new_step_seconds) const {
+  if (new_step_seconds == step_seconds()) return *this;
+  return CarbonIntensityTrace(region_code_, tz_,
+                              series_.resampled(new_step_seconds).values(),
+                              new_step_seconds);
 }
 
 std::vector<double> CarbonIntensityTrace::hour_of_day_slice(
     int hour_of_day) const {
   HPC_REQUIRE(hour_of_day >= 0 && hour_of_day < kHoursPerDay,
               "hour of day out of range");
+  const std::size_t sph = samples_per_hour(step_seconds());
   std::vector<double> slice;
-  slice.reserve(kDaysPerYear);
+  slice.reserve(kDaysPerYear * (sph > 0 ? sph : 1));
   for (int d = 0; d < kDaysPerYear; ++d) {
-    slice.push_back(
-        values_[static_cast<std::size_t>(d * kHoursPerDay + hour_of_day)]);
+    const int hour_start = d * kHoursPerDay + hour_of_day;
+    if (sph > 0) {
+      const std::size_t base = static_cast<std::size_t>(hour_start) * sph;
+      for (std::size_t s = 0; s < sph; ++s) {
+        slice.push_back(values()[base + s]);
+      }
+    } else {
+      // Steps coarser than an hour: the sample containing the hour's start.
+      slice.push_back(series_.at_hours(hour_start));
+    }
   }
   return slice;
 }
@@ -115,14 +118,16 @@ std::string CarbonIntensityTrace::to_csv() const {
   // original bit-for-bit.
   out << std::setprecision(17);
   out << "hour,intensity_g_per_kwh\n";
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    out << i << ',' << values_[i] << '\n';
+  const auto& v = values();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out << static_cast<double>(i) * step_hours() << ',' << v[i] << '\n';
   }
   return out.str();
 }
 
 CarbonIntensityTrace CarbonIntensityTrace::from_csv(
-    const std::string& region_code, TimeZone tz, const std::string& csv) {
+    const std::string& region_code, TimeZone tz, const std::string& csv,
+    double step_seconds) {
   const CsvData data = parse_csv(csv);
   std::vector<double> values;
   values.reserve(data.rows.size());
@@ -130,7 +135,8 @@ CarbonIntensityTrace CarbonIntensityTrace::from_csv(
     HPC_REQUIRE(row.size() == 2, "trace CSV must have two columns");
     values.push_back(row[1]);
   }
-  return CarbonIntensityTrace(region_code, tz, std::move(values));
+  return CarbonIntensityTrace(region_code, tz, std::move(values),
+                              step_seconds);
 }
 
 }  // namespace hpcarbon::grid

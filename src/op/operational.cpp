@@ -30,11 +30,17 @@ Mass operational_carbon(Power it_power,
   double grams = 0;
   double remaining = duration.count();
   int idx = start.index();
+  const bool hourly = trace.hourly();
   while (remaining > 0) {
     const double w = std::min(1.0, remaining);
     const HourOfYear h(idx);
-    const double kwh = kw * w * pue.at(h);
-    grams += trace.at(h).to_g_per_kwh() * kwh;
+    // Hourly traces read the sample directly (bit-identical to the
+    // pre-StepSeries loop); finer traces integrate the hour chunk so
+    // intra-hour variation is captured under the hour's PUE.
+    const double intensity_hours =
+        hourly ? trace.at(h).to_g_per_kwh() * w
+               : trace.interval_sum(idx, w);
+    grams += kw * pue.at(h) * intensity_hours;
     remaining -= w;
     idx = (idx + 1) % kHoursPerYear;
   }
@@ -48,11 +54,16 @@ CarbonIntensity effective_intensity(const grid::CarbonIntensityTrace& trace,
 
 CarbonIntegrator::CarbonIntegrator(const grid::CarbonIntensityTrace& trace,
                                    const PueModel& pue) {
+  // Weight each native-resolution sample by the PUE of the hour containing
+  // it (PUE is modeled hour-granular; sub-hourly samples within one hour
+  // share that hour's PUE).
   std::vector<double> weighted(trace.values());
+  const double step_hours = trace.step_hours();
   for (std::size_t i = 0; i < weighted.size(); ++i) {
-    weighted[i] *= pue.at(HourOfYear(static_cast<int>(i)));
+    const auto hour = static_cast<int>(static_cast<double>(i) * step_hours);
+    weighted[i] *= pue.at(HourOfYear(hour));
   }
-  weighted_ = grid::HourlyPrefixSum(std::move(weighted));
+  weighted_ = StepSeries(std::move(weighted), trace.step_seconds());
 }
 
 double CarbonIntegrator::weighted_sum(double start_hour,

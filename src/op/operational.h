@@ -7,6 +7,7 @@
 // against a carbon-intensity trace (used by the scheduler and the tracker).
 #pragma once
 
+#include "core/series.h"
 #include "core/units.h"
 #include "grid/trace.h"
 #include "op/pue.h"
@@ -31,11 +32,13 @@ CarbonIntensity effective_intensity(const grid::CarbonIntensityTrace& trace,
                                     HourOfYear start, Hours duration);
 
 /// PUE-weighted cumulative carbon over a trace: prefix sums of
-/// intensity(h) * PUE(h) built once, then every interval-carbon query is
-/// O(1) regardless of duration — fractional endpoints and year wrap
-/// included. This is what makes the scheduling engine's per-job carbon
-/// pricing constant-time; hold one per (trace, PUE) pair for repeated
-/// queries instead of calling the free operational_carbon() in a loop.
+/// intensity(t) * PUE(t) built once at the trace's native resolution
+/// (hourly or 5-/15-minute imports alike), then every interval-carbon
+/// query is O(1) regardless of duration — fractional endpoints and year
+/// wrap included. This is what makes the scheduling engine's per-job
+/// carbon pricing constant-time; hold one per (trace, PUE) pair for
+/// repeated queries instead of calling the free operational_carbon() in a
+/// loop.
 class CarbonIntegrator {
  public:
   CarbonIntegrator() = default;
@@ -57,7 +60,7 @@ class CarbonIntegrator {
   }
 
  private:
-  grid::HourlyPrefixSum weighted_;  // per-hour intensity * PUE
+  StepSeries weighted_;  // per-sample intensity * PUE, native resolution
 };
 
 }  // namespace hpcarbon::op

@@ -27,7 +27,13 @@ const char* to_string(Policy p) {
 }
 
 double ClusterView::current_ci(std::size_t i) const {
-  return (*sites_)[i].trace_utc.at(hour_at(now())).to_g_per_kwh();
+  // Native-resolution lookup: hourly traces resolve to the same sample the
+  // old at(hour_at(now())) read; 5-/15-minute imports expose the live
+  // sub-hourly sample instead of the start-of-hour one.
+  return (*sites_)[i]
+      .trace_utc
+      .at_hours(static_cast<double>(epoch_.index()) + now())
+      .to_g_per_kwh();
 }
 
 double ClusterView::job_carbon_g(std::size_t i, Power it_power, double start,

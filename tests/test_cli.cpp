@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <string>
 
+#include <utility>
+
 #include "cli/registry.h"
 #include "cli/scenario_runner.h"
 #include "cli/sweep.h"
+#include "core/csv.h"
 #include "core/error.h"
 
 #include "core/thread_pool.h"
@@ -169,6 +172,69 @@ TEST(Sweep, SectionsAreValidatedAndRowsSummarize) {
   bad_region.sections = {"lifetime"};
   bad_region.region = "ATLANTIS";
   EXPECT_THROW(run_sweep(bad_region), Error);
+}
+
+std::string fixture_path() {
+  return std::string(HPCARBON_TEST_DATA_DIR) + "/sample_5min.csv";
+}
+
+TEST(ScenarioRunner, TraceOverrideSyntax) {
+  EXPECT_EQ(parse_trace_override("ESO=grid.csv"),
+            (std::pair<std::string, std::string>{"ESO", "grid.csv"}));
+  EXPECT_THROW(parse_trace_override("no-equals"), Error);
+  EXPECT_THROW(parse_trace_override("=path"), Error);
+  EXPECT_THROW(parse_trace_override("ESO="), Error);
+}
+
+// Acceptance: the checked-in 5-minute fixture drives the full scenario
+// matrix end to end via --trace-csv, at native 300 s resolution.
+TEST(ScenarioRunner, FiveMinuteTraceOverrideDrivesScenarios) {
+  ScenarioOptions opts;
+  opts.regions = {"ESO", "CISO"};
+  opts.policies = {"greedy"};
+  opts.horizon_days = 5;
+  opts.arrival_rate_per_hour = 1.0;
+  opts.trace_csv = {{"ESO", fixture_path()}};
+
+  const ScenarioReport report = run_scenarios(opts);
+  ASSERT_EQ(report.rows.size(), 4u);
+  ASSERT_EQ(report.trace_notes.size(), 1u);
+  EXPECT_NE(report.trace_notes[0].find("105120 samples"), std::string::npos)
+      << report.trace_notes[0];
+  for (const auto& row : report.rows) {
+    EXPECT_GT(row.carbon_kg, 0.0);
+    EXPECT_GT(row.jobs_completed, 0);
+  }
+  // The ESO rows now reflect the fixture's statistics, not the preset's:
+  // its diurnal pattern has a ~404 g/kWh median (the synthetic ESO preset
+  // sits near 150).
+  EXPECT_GT(report.rows[0].median_ci_g_per_kwh, 300.0);
+
+  // The emitted report, string cells included, survives parse_csv_table.
+  const auto table = parse_csv_table(report.to_csv());
+  ASSERT_EQ(table.rows.size(), report.rows.size() + 1);
+  EXPECT_EQ(table.rows[1][0], "ESO");
+
+  // Overrides for unselected regions are typos, not no-ops.
+  ScenarioOptions bad = opts;
+  bad.trace_csv = {{"ERCOT", fixture_path()}};
+  EXPECT_THROW(run_scenarios(bad), Error);
+}
+
+TEST(Sweep, TraceOverrideReachesLifetimeSection) {
+  SweepOptions opts;
+  opts.samples = 8;
+  opts.sections = {"lifetime"};
+  opts.region = "CISO";
+  opts.trace_csv = {{"CISO", fixture_path()}};
+  const SweepReport report = run_sweep(opts);
+  ASSERT_EQ(report.rows.size(), 6u);
+  for (const auto& r : report.rows) EXPECT_GT(r.p50, 0.0);
+
+  // An override naming a region no selected section uses is rejected.
+  SweepOptions bad = opts;
+  bad.trace_csv = {{"KN", fixture_path()}};
+  EXPECT_THROW(run_sweep(bad), Error);
 }
 
 TEST(Sweep, DeterministicForFixedSeed) {

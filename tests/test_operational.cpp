@@ -141,6 +141,37 @@ TEST(Operational, ConstantPueFastPathMatchesIntegrator) {
   EXPECT_NEAR(direct.to_grams(), 3.0 * 1.2 * (100.0 + 700.0 + 100.0), 1e-9);
 }
 
+// The integrator prices a sub-hourly trace at native resolution: a job
+// aligned with the clean half of every hour must come out cheaper than the
+// hourly mean would say.
+TEST(Operational, IntegratorSeesSubHourlyStructure) {
+  const std::size_t n = 12u * kHoursPerYear;
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = (i % 12 < 6) ? 100.0 : 500.0;  // clean first half of each hour
+  }
+  const grid::CarbonIntensityTrace trace("F", kUtc, v, 300.0);
+  const PueModel pue(1.2);
+  const CarbonIntegrator integrator(trace, pue);
+  // Half an hour starting on the hour: all clean samples.
+  EXPECT_NEAR(integrator.carbon_g(1.0, 10.0, 0.5), 1.2 * 100.0 * 0.5, 1e-9);
+  // The second half: all dirty.
+  EXPECT_NEAR(integrator.carbon_g(1.0, 10.5, 0.5), 1.2 * 500.0 * 0.5, 1e-9);
+  // A whole hour averages the two.
+  EXPECT_NEAR(integrator.carbon_g(1.0, 10.0, 1.0), 1.2 * 300.0, 1e-9);
+  // The seasonal-PUE stepping path agrees with the integrator on the same
+  // sub-hourly trace (it integrates each hour chunk through the prefix
+  // sums rather than sampling the hour's first value).
+  const PueModel seasonal(1.2, 0.1);
+  const CarbonIntegrator seasonal_integrator(trace, seasonal);
+  const Mass stepped = operational_carbon(Power::kilowatts(2), trace,
+                                          HourOfYear(4000), Hours::hours(30.5),
+                                          seasonal);
+  EXPECT_NEAR(stepped.to_grams(),
+              seasonal_integrator.carbon_g(2.0, 4000.0, 30.5),
+              1e-6 * stepped.to_grams());
+}
+
 TEST(Operational, GreenerGridMeansLessCarbonSameEnergy) {
   // Sec. 6: "a system with higher energy efficiency does not necessarily
   // have lower operational carbon" — A at 20 g/kWh beats B at 400 g/kWh

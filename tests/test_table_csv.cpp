@@ -127,5 +127,64 @@ TEST(Csv, ColumnSerialisation) {
   EXPECT_EQ(to_csv_column("v", {1.5, 2.5}), "v\n1.5\n2.5\n");
 }
 
+TEST(Csv, EscapePassesPlainCellsThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("3.14"), "3.14");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Csv, EscapeQuotesSpecialCells) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, RowWriterJoinsAndTerminates) {
+  EXPECT_EQ(csv_row({"a", "b,c", "1"}), "a,\"b,c\",1\n");
+  EXPECT_EQ(csv_row({}), "\n");
+}
+
+TEST(Csv, NumMatchesStreamFormatting) {
+  EXPECT_EQ(csv_num(3.14), "3.14");
+  EXPECT_EQ(csv_num(42.0), "42");
+  EXPECT_EQ(csv_num(-0.5), "-0.5");
+}
+
+TEST(Csv, ParseTableKeepsStringsAndLineNumbers) {
+  const auto table =
+      parse_csv_table("datetime,ci\n\n2021-01-01T00:00:00Z,412.5\n");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][0], "datetime");
+  EXPECT_EQ(table.rows[1][0], "2021-01-01T00:00:00Z");
+  ASSERT_EQ(table.line_numbers.size(), 2u);
+  EXPECT_EQ(table.line_numbers[0], 1u);
+  EXPECT_EQ(table.line_numbers[1], 3u);  // blank line counted, not stored
+}
+
+// Satellite guarantee: cells emitted through csv_row survive a full parse
+// round-trip, commas and quotes included.
+TEST(Csv, EscapedRowsRoundTripThroughParser) {
+  std::string text = csv_row({"a", "b", "c"});
+  text += csv_row({"region, area", "with \"quotes\"", "plain"});
+  const auto table = parse_csv_table(text);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][0], "region, area");
+  EXPECT_EQ(table.rows[1][1], "with \"quotes\"");
+  EXPECT_EQ(table.rows[1][2], "plain");
+}
+
+// Numeric payloads emitted through csv_row/csv_num parse back through
+// parse_csv with the header detected and every value intact.
+TEST(Csv, NumericReportRoundTrip) {
+  std::string text = csv_row({"cell_id", "carbon_kg", "savings_pct"});
+  text += csv_row({csv_num(0), csv_num(1116.7), csv_num(43.8)});
+  text += csv_row({csv_num(1), csv_num(545.8), csv_num(-11.2)});
+  const auto data = parse_csv(text);
+  ASSERT_EQ(data.header.size(), 3u);
+  ASSERT_EQ(data.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(data.rows[0][1], 1116.7);
+  EXPECT_DOUBLE_EQ(data.rows[1][2], -11.2);
+}
+
 }  // namespace
 }  // namespace hpcarbon

@@ -8,6 +8,8 @@
 
 #include "core/error.h"
 #include "core/rng.h"
+#include "core/series.h"
+#include "grid/presets.h"
 
 namespace hpcarbon::grid {
 namespace {
@@ -122,8 +124,9 @@ TEST(Trace, IntervalSumValidation) {
   EXPECT_THROW(t.interval_sum(0.0, -1.0), Error);
   EXPECT_THROW(t.interval_sum(std::numeric_limits<double>::quiet_NaN(), 1.0),
                Error);
-  EXPECT_THROW(HourlyPrefixSum({1.0, 2.0}), Error);
-  EXPECT_THROW(HourlyPrefixSum{}.integral(0.0, 1.0), Error);
+  // A trace that is not exactly one year is rejected at any cadence.
+  EXPECT_THROW(CarbonIntensityTrace("X", kUtc, {1.0, 2.0}, 300.0), Error);
+  EXPECT_THROW(StepSeries{}.integral(0.0, 1.0), Error);
 }
 
 TEST(Trace, MeanOverAgreesWithIntervalSum) {
@@ -173,6 +176,95 @@ TEST(Trace, CsvRoundTrip) {
   const CarbonIntensityTrace t("X", kUtc, ramp_values());
   const auto back = CarbonIntensityTrace::from_csv("X", kUtc, t.to_csv());
   EXPECT_EQ(back.values(), t.values());
+}
+
+std::vector<double> random_year(std::size_t samples, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(samples);
+  for (auto& x : v) x = rng.uniform(5.0, 900.0);
+  return v;
+}
+
+// Property: converting to any zone and back is bit-identical, for every
+// preset region's zone and for arbitrary targets — rotation must not touch
+// the stored samples, only reorder them.
+TEST(TraceProperties, ToTimeZoneThereAndBackIsBitIdentical) {
+  int region_index = 0;
+  for (const auto& spec : all_regions()) {
+    const CarbonIntensityTrace local(
+        spec.code, spec.tz,
+        random_year(kHoursPerYear, 1000u + static_cast<unsigned>(region_index)));
+    for (TimeZone target : {kUtc, kJst, kPst, TimeZone(5, "odd")}) {
+      const auto back = local.to_time_zone(target).to_time_zone(spec.tz);
+      EXPECT_EQ(back.values(), local.values())
+          << spec.code << " via UTC" << target.utc_offset_hours();
+      EXPECT_EQ(back.time_zone().utc_offset_hours(),
+                spec.tz.utc_offset_hours());
+    }
+    ++region_index;
+  }
+}
+
+// Property: at(hour, zone) on the original trace agrees with local at() on
+// the rotated trace for every instant — the two spellings of "what was the
+// intensity then" can never disagree, for all seven preset regions.
+TEST(TraceProperties, CrossZoneLookupAgreesWithRotatedTrace) {
+  int region_index = 0;
+  for (const auto& spec : all_regions()) {
+    const CarbonIntensityTrace local(
+        spec.code, spec.tz,
+        random_year(kHoursPerYear, 2000u + static_cast<unsigned>(region_index)));
+    const auto utc = local.to_time_zone(kUtc);
+    for (int h :
+         {0, 1, 8, 17, 4999, kHoursPerYear - 1, kHoursPerYear - 9}) {
+      const HourOfYear hour(h);
+      EXPECT_EQ(local.at(hour, kUtc).to_g_per_kwh(),
+                utc.at(hour).to_g_per_kwh())
+          << spec.code << " hour " << h;
+      // And in the region's own frame.
+      EXPECT_EQ(utc.at(hour, spec.tz).to_g_per_kwh(),
+                local.at(hour).to_g_per_kwh())
+          << spec.code << " hour " << h;
+    }
+    ++region_index;
+  }
+}
+
+// A 5-minute trace behaves like its hourly counterpart through the whole
+// query surface, with intra-hour structure visible where it should be.
+TEST(TraceSubHourly, FiveMinuteQueries) {
+  const std::size_t n = 12u * kHoursPerYear;
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = 100.0 + static_cast<double>(i % 12);  // ramp inside each hour
+  }
+  const CarbonIntensityTrace t("F", kUtc, v, 300.0);
+  EXPECT_EQ(t.size(), n);
+  EXPECT_FALSE(t.hourly());
+
+  // at(HourOfYear) reads the sample at the hour's start.
+  EXPECT_DOUBLE_EQ(t.at(HourOfYear(7)).to_g_per_kwh(), 100.0);
+  // at_hours resolves the 5-minute sample containing the instant.
+  EXPECT_DOUBLE_EQ(t.at_hours(7.0 + 25.0 / 60.0).to_g_per_kwh(), 105.0);
+  // An hour's mean sees the intra-hour ramp: mean(100..111) = 105.5.
+  EXPECT_NEAR(t.mean_over(HourOfYear(7), Hours::hours(1)).to_g_per_kwh(),
+              105.5, 1e-9);
+  // hour_of_day_slice yields every sub-sample of that local hour.
+  const auto slice = t.hour_of_day_slice(5);
+  ASSERT_EQ(slice.size(), static_cast<std::size_t>(kDaysPerYear) * 12u);
+  EXPECT_DOUBLE_EQ(slice[0], 100.0);
+  EXPECT_DOUBLE_EQ(slice[11], 111.0);
+}
+
+TEST(TraceSubHourly, TimeZoneRotationAtSampleGranularity) {
+  const std::size_t n = 12u * kHoursPerYear;
+  const CarbonIntensityTrace jst("KN", kJst, random_year(n, 77), 300.0);
+  const auto utc = jst.to_time_zone(kUtc);
+  EXPECT_EQ(utc.step_seconds(), 300.0);
+  // UTC hour 0 == JST hour 9: the first UTC sample is JST's sample 108.
+  EXPECT_EQ(utc.values()[0], jst.values()[9 * 12]);
+  const auto back = utc.to_time_zone(kJst);
+  EXPECT_EQ(back.values(), jst.values());
 }
 
 }  // namespace
