@@ -1,0 +1,233 @@
+// Serve-layer load generator: what the query service costs and what the
+// cache buys.
+//
+// (a) Zipf-skewed request mix over every query family (a production query
+//     log is head-heavy: a handful of dashboards ask the same questions
+//     over and over), replayed cold (empty cache) and warm (same engine,
+//     same mix again). Reports throughput, p50/p99 per-request latency,
+//     and cache hit rate. Target: >= 10x warm-over-cold on the repeated
+//     mix, memory flat under the byte budget.
+// (b) Batch-planner throughput: the same mix answered via handle_batch
+//     (dedup + pool fan-out) instead of line-by-line.
+// (c) TraceStore reuse: what one preset-trace generation costs vs the
+//     shared-store lookup every later section/query performs — the reason
+//     `hpcarbon sweep` sections and `run --uncertainty` stopped re-parsing
+//     their --trace-csv inputs.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/rng.h"
+#include "core/table.h"
+#include "core/thread_pool.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+#include "serve/cache.h"
+#include "serve/engine.h"
+
+#include "cli/registry.h"
+
+using namespace hpcarbon;
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double ms_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
+      .count();
+}
+
+/// The distinct-query universe: one spelling per question, spanning all
+/// five families (cheap embodied/trace lookups through expensive
+/// scheduler runs — the cost spread a shared service actually sees).
+std::vector<std::string> query_universe() {
+  std::vector<std::string> q;
+  for (const auto& slug : serve::part_slugs()) {
+    q.push_back(R"({"op":"embodied","params":{"part":")" + slug + "\"}}");
+  }
+  for (const auto& code : grid::codes_of(grid::all_regions())) {
+    q.push_back(R"({"op":"trace","params":{"region":")" + code + "\"}}");
+    q.push_back(R"({"op":"trace","params":{"region":")" + code +
+                R"(","window_start_hour":3624,"window_hours":168}})");
+  }
+  for (const char* node : {"p100", "v100", "a100"}) {
+    for (const char* region : {"ESO", "CISO", "ERCOT"}) {
+      q.push_back(std::string(R"({"op":"lifetime","params":{"node":")") +
+                  node + R"(","region":")" + region + "\"}}");
+    }
+  }
+  q.push_back(R"({"op":"lifetime","params":{"node":"v100","samples":1024}})");
+  for (const char* decline : {"0", "0.03", "0.07"}) {
+    q.push_back(std::string(R"({"op":"breakeven","params":{"annual_decline":)") +
+                decline + "}}");
+  }
+  // Default 28-day horizon at 2.5 jobs/h: the `hpcarbon run` scenario a
+  // dashboard would poll, and the expensive tail of the mix.
+  for (const char* policy : {"greedy", "net-benefit", "forecast-nb"}) {
+    q.push_back(std::string(R"({"op":"sched","params":{"policy":")") + policy +
+                "\"}}");
+  }
+  return q;
+}
+
+/// Zipf(s=1.1) ranks over the shuffled universe: rank 1 dominates, the
+/// tail still appears. Returns `count` request lines.
+std::vector<std::string> zipf_mix(const std::vector<std::string>& universe,
+                                  std::size_t count, Rng& rng) {
+  std::vector<double> cdf(universe.size());
+  double total = 0;
+  for (std::size_t r = 0; r < universe.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), 1.1);
+    cdf[r] = total;
+  }
+  std::vector<std::string> mix;
+  mix.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = rng.uniform(0.0, total);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    mix.push_back(universe[static_cast<std::size_t>(it - cdf.begin())]);
+  }
+  return mix;
+}
+
+struct PassResult {
+  double total_ms = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  serve::CacheStats stats;
+};
+
+PassResult replay(serve::Engine& engine, const std::vector<std::string>& mix) {
+  const serve::CacheStats before = engine.cache_stats();
+  std::vector<double> latencies_us;
+  latencies_us.reserve(mix.size());
+  const auto t0 = clock_type::now();
+  for (const auto& line : mix) {
+    const auto r0 = clock_type::now();
+    const std::string response = engine.handle_line(line);
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(clock_type::now() - r0)
+            .count());
+    if (response.find("\"ok\":true") == std::string::npos) {
+      std::cerr << "unexpected error response: " << response << '\n';
+      std::exit(1);
+    }
+  }
+  PassResult res;
+  res.total_ms = ms_since(t0);
+  std::sort(latencies_us.begin(), latencies_us.end());
+  res.p50_us = latencies_us[latencies_us.size() / 2];
+  res.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+  res.stats = engine.cache_stats();
+  res.stats.hits -= before.hits;
+  res.stats.misses -= before.misses;
+  return res;
+}
+
+void add_pass_row(TextTable& t, const std::string& label, const PassResult& r,
+                  std::size_t requests) {
+  const double qps = 1000.0 * static_cast<double>(requests) / r.total_ms;
+  const double hit_rate =
+      100.0 * static_cast<double>(r.stats.hits) /
+      static_cast<double>(r.stats.hits + r.stats.misses);
+  t.add_row({label, std::to_string(requests), TextTable::num(r.total_ms, 1),
+             TextTable::num(qps, 0), TextTable::num(r.p50_us, 1),
+             TextTable::num(r.p99_us, 1), TextTable::num(hit_rate, 1),
+             std::to_string(r.stats.evictions),
+             std::to_string(r.stats.bytes)});
+}
+
+int tool_main(int, char**) {
+  constexpr std::size_t kRequests = 2000;
+  bench::print_banner(
+      "serve-load: Zipf query mix, cold vs warm cache (target >= 10x)");
+
+  Rng rng(7);
+  std::vector<std::string> universe = query_universe();
+  // Shuffle so Zipf head ranks are not correlated with family order.
+  for (std::size_t i = universe.size(); i > 1; --i) {
+    std::swap(universe[i - 1],
+              universe[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  const auto mix = zipf_mix(universe, kRequests, rng);
+  std::cout << universe.size() << " distinct queries, " << mix.size()
+            << " Zipf(1.1)-skewed requests\n";
+
+  serve::ServeOptions opts;
+  opts.cache_bytes = 4u << 20;
+  serve::Engine engine(opts);
+
+  TextTable t({"Pass", "Requests", "Total ms", "req/s", "p50 us", "p99 us",
+               "Hit %", "Evictions", "Cache bytes"});
+  const PassResult cold = replay(engine, mix);
+  add_pass_row(t, "cold (cache filling)", cold, mix.size());
+  const PassResult warm = replay(engine, mix);
+  add_pass_row(t, "warm (cache full)", warm, mix.size());
+  bench::print_table(t);
+  std::cout << "warm-over-cold speedup: "
+            << TextTable::num(cold.total_ms / warm.total_ms, 1)
+            << "x (target >= 10x); cache stayed within its "
+            << (opts.cache_bytes >> 20) << " MiB budget: "
+            << (warm.stats.bytes <= opts.cache_bytes ? "yes" : "NO") << "\n";
+
+  bench::print_banner("serve-load: batch planner (dedup + pool fan-out)");
+  TextTable b({"Mode", "Requests", "Total ms", "req/s"});
+  {
+    serve::Engine batch_engine(opts);
+    const auto t0 = clock_type::now();
+    const auto responses = batch_engine.handle_batch(mix);
+    const double cold_ms = ms_since(t0);
+    const auto t1 = clock_type::now();
+    (void)batch_engine.handle_batch(mix);
+    const double warm_ms = ms_since(t1);
+    b.add_row({"batch cold", std::to_string(responses.size()),
+               TextTable::num(cold_ms, 1),
+               TextTable::num(1000.0 * static_cast<double>(mix.size()) /
+                                  cold_ms, 0)});
+    b.add_row({"batch warm", std::to_string(mix.size()),
+               TextTable::num(warm_ms, 1),
+               TextTable::num(1000.0 * static_cast<double>(mix.size()) /
+                                  warm_ms, 0)});
+  }
+  bench::print_table(b);
+
+  bench::print_banner("TraceStore: parse/generate once, share everywhere");
+  // The satellite measurement: a preset year costs a full simulator run
+  // on first touch and a map lookup afterwards — which is why the sweep
+  // sections and `run --uncertainty N` now share one parse per
+  // (region, file) instead of re-importing per section.
+  serve::TraceStore store;
+  const auto g0 = clock_type::now();
+  const auto first = store.preset("ESO");
+  const double generate_ms = ms_since(g0);
+  const auto g1 = clock_type::now();
+  constexpr int kLookups = 1000;
+  for (int i = 0; i < kLookups; ++i) {
+    if (store.preset("ESO").get() != first.get()) std::exit(1);
+  }
+  const double lookup_us = 1000.0 * ms_since(g1) / kLookups;
+  TextTable s({"Operation", "Cost"});
+  s.add_row({"generate ESO preset (first touch)",
+             TextTable::num(generate_ms, 2) + " ms"});
+  s.add_row({"shared-store lookup (every later use)",
+             TextTable::num(lookup_us, 2) + " us"});
+  s.add_row({"reuse factor", TextTable::num(
+                                 1000.0 * generate_ms / lookup_us, 0) + "x"});
+  bench::print_table(s);
+  std::cout << "store counters: " << store.hits() << " hits, "
+            << store.misses() << " misses\n";
+  return 0;
+}
+
+}  // namespace
+
+HPCARBON_TOOL("serve-load", ToolKind::kBench,
+              "Query-service load generator: Zipf mix, cold/warm cache "
+              "throughput and latency, batch planner, TraceStore reuse")

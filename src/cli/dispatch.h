@@ -1,0 +1,32 @@
+// Top-level command dispatch of the `hpcarbon` driver.
+//
+// Lives in hpcarbon_cli_core (not main.cpp) so the exit-code and stream
+// contract is unit-testable in-process:
+//
+//   hpcarbon                  -> usage on `err`, exit 2
+//   hpcarbon <unknown>        -> diagnostic + usage on `err`, exit 2
+//   hpcarbon help|--help|-h   -> usage on `out`, exit 0
+//
+// Subcommand reports print to std::cout/std::cerr as before; `out`/`err`
+// carry only the driver-level usage and diagnostics.
+#pragma once
+
+#include <iosfwd>
+
+namespace hpcarbon::cli {
+
+/// Render the usage text to `out` and return `exit_code`.
+int usage(std::ostream& out, int exit_code);
+
+/// Worker count the driver uses when --threads is absent: the
+/// HPCARBON_THREADS environment variable if set, else at least two
+/// workers so scenario/batch fan-out overlaps even on single-core
+/// machines. Shared by run, sweep, batch, and serve.
+std::size_t default_worker_threads();
+
+/// Full driver dispatch over the original argc/argv (argv[0] is the
+/// program name). May throw hpcarbon::Error (main catches and maps to
+/// exit 1).
+int dispatch(int argc, char** argv, std::ostream& out, std::ostream& err);
+
+}  // namespace hpcarbon::cli

@@ -16,6 +16,7 @@
 #include "grid/simulator.h"
 #include "mc/engine.h"
 #include "sched/workload_gen.h"
+#include "serve/cache.h"
 
 namespace hpcarbon::cli {
 
@@ -42,27 +43,48 @@ std::pair<std::string, std::string> parse_trace_override(
 std::vector<grid::CarbonIntensityTrace> traces_for(
     const std::vector<grid::RegionSpec>& specs,
     const TraceOverrides& overrides, std::vector<std::string>* notes) {
-  auto traces = grid::generate_traces(specs);
-  for (const auto& [code, path] : overrides) {
+  // Which spec each override drives. Unknown codes and duplicate codes
+  // are typos, not no-ops: two overrides for one region would silently
+  // shadow one file, so both are rejected up front.
+  std::vector<std::size_t> override_of(specs.size(), overrides.size());
+  for (std::size_t o = 0; o < overrides.size(); ++o) {
     bool applied = false;
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      if (specs[i].code != code) continue;
-      grid::ImportOptions io;
-      io.tz = specs[i].tz;  // file rows are the region's local time
-      grid::ImportReport report;
-      traces[i] = grid::import_trace_file(path, code, io, &report);
-      if (notes != nullptr) {
-        notes->push_back(code + " <- " + path + ": " + report.to_string());
+      if (specs[i].code != overrides[o].first) continue;
+      if (override_of[i] != overrides.size()) {
+        throw Error("duplicate --trace-csv override for '" +
+                    overrides[o].first + "'");
       }
+      override_of[i] = o;
       applied = true;
       break;
     }
     if (!applied) {
       std::string known;
       for (const auto& s : specs) known += (known.empty() ? "" : ", ") + s.code;
-      throw Error("--trace-csv override for '" + code +
+      throw Error("--trace-csv override for '" + overrides[o].first +
                   "' matches no selected region (selected: " + known + ")");
     }
+  }
+
+  // Every trace comes through the shared TraceStore: presets generate
+  // once per process and --trace-csv files parse once, so `sweep` running
+  // several sections (or `run --uncertainty N`) stops redoing identical
+  // work. First-touch generation of distinct regions still overlaps on
+  // the pool; warm lookups are a map hit.
+  std::vector<grid::CarbonIntensityTrace> traces(specs.size());
+  std::vector<std::string> import_notes(overrides.size());
+  ThreadPool::global().parallel_for(0, specs.size(), [&](std::size_t i) {
+    auto& store = serve::TraceStore::global();
+    if (override_of[i] < overrides.size()) {
+      const auto& [code, path] = overrides[override_of[i]];
+      traces[i] = *store.imported(code, path, &import_notes[override_of[i]]);
+    } else {
+      traces[i] = *store.preset(specs[i].code);
+    }
+  });
+  if (notes != nullptr) {
+    for (auto& note : import_notes) notes->push_back(std::move(note));
   }
   return traces;
 }

@@ -1,0 +1,177 @@
+#include "cli/serve_tool.h"
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/dispatch.h"
+#include "core/csv.h"
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "serve/engine.h"
+
+namespace hpcarbon::cli {
+
+namespace {
+
+struct FrontEndOptions {
+  serve::ServeOptions serve;
+  std::string input_path;  // batch only; "-" reads stdin
+  std::string out_path;    // batch only; empty writes stdout
+  std::size_t threads = 0;
+};
+
+/// Flags shared by both front-ends; returns false for flags the caller
+/// must handle (positional input path for batch).
+bool parse_common_flag(const std::string& arg, int argc, char** argv, int& i,
+                       FrontEndOptions& opts) {
+  auto next_value = [&](const char* flag) -> std::string {
+    if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  auto next_count = [&](const char* flag) {
+    const std::string v = next_value(flag);
+    std::size_t consumed = 0;
+    long n = 0;
+    try {
+      n = std::stol(v, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != v.size() || n < 1) {
+      throw Error(std::string(flag) + " expects a positive integer, got '" +
+                  v + "'");
+    }
+    return static_cast<std::size_t>(n);
+  };
+  if (arg == "--threads") {
+    opts.threads = next_count("--threads");
+    return true;
+  }
+  if (arg == "--cache-mb") {
+    const std::size_t mb = next_count("--cache-mb");
+    // Bounded so the <<20 below cannot overflow std::size_t into a
+    // budget unrelated to what was asked for.
+    if (mb > (std::size_t{1} << 20)) {  // 1 TiB
+      throw Error("--cache-mb must be at most 1048576 (1 TiB)");
+    }
+    opts.serve.cache_bytes = mb << 20;
+    return true;
+  }
+  if (arg == "--shards") {
+    const std::size_t shards = next_count("--shards");
+    if (shards > 4096) throw Error("--shards must be at most 4096");
+    opts.serve.cache_shards = shards;
+    return true;
+  }
+  return false;
+}
+
+void size_pool(const FrontEndOptions& opts) {
+  ThreadPool::set_global_threads(
+      opts.threads > 0 ? opts.threads : default_worker_threads());
+}
+
+/// Request lines of a JSONL payload: blank and whitespace-only lines are
+/// skipped (trailing newline, CRLF endings), everything else is a request.
+std::vector<std::string> request_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(pos, end - pos);
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    if (!line.empty()) lines.push_back(std::move(line));
+    if (end == text.size()) break;
+    pos = end + 1;
+  }
+  return lines;
+}
+
+std::string read_all_of_stdin() {
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int cmd_batch(int argc, char** argv) {
+  FrontEndOptions opts;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_common_flag(arg, argc, argv, i, opts)) continue;
+    if (arg == "--out") {
+      if (i + 1 >= argc) throw Error("--out needs a value");
+      opts.out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      throw Error("unknown batch flag '" + arg + "' (see `hpcarbon help`)");
+    } else if (opts.input_path.empty()) {
+      opts.input_path = arg;
+    } else {
+      throw Error("batch takes one input file, got '" + arg + "' too");
+    }
+  }
+  if (opts.input_path.empty()) {
+    std::cerr << "hpcarbon batch: name a requests.jsonl file (or '-' for "
+                 "stdin)\n";
+    return 2;
+  }
+  size_pool(opts);
+
+  const std::string text = opts.input_path == "-" ? read_all_of_stdin()
+                                                  : read_file(opts.input_path);
+  const std::vector<std::string> lines = request_lines(text);
+
+  serve::Engine engine(opts.serve);
+  const std::vector<std::string> responses = engine.handle_batch(lines);
+
+  std::string out;
+  for (const auto& r : responses) {
+    out += r;
+    out.push_back('\n');
+  }
+  if (opts.out_path.empty()) {
+    std::cout << out;
+  } else {
+    write_file(opts.out_path, out);
+  }
+
+  const serve::CacheStats cs = engine.cache_stats();
+  std::cerr << "hpcarbon batch: " << lines.size() << " requests; cache: "
+            << cs.hits << " hits, " << cs.misses << " misses, "
+            << cs.evictions << " evictions, " << cs.entries << " entries, "
+            << cs.bytes << " bytes\n";
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  FrontEndOptions opts;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (parse_common_flag(arg, argc, argv, i, opts)) continue;
+    throw Error("unknown serve flag '" + arg + "' (see `hpcarbon help`)");
+  }
+  size_pool(opts);
+
+  serve::Engine engine(opts.serve);
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    // One response per request, flushed immediately: the reader on the
+    // other end of the pipe must not wait on a buffer.
+    std::cout << engine.handle_line(line) << std::endl;
+  }
+  return 0;
+}
+
+}  // namespace hpcarbon::cli

@@ -1,0 +1,27 @@
+// `hpcarbon batch` and `hpcarbon serve`: the query-service front-ends.
+//
+// Both speak line-delimited JSON (one request per line, one response per
+// line — see README "Query API") over the same serve::Engine:
+//
+//   hpcarbon batch requests.jsonl      file (or '-': stdin) in, JSONL out
+//   hpcarbon serve                     request/response loop on
+//                                      stdin/stdout, flushed per line, so
+//                                      tests, CI, and scripts drive it
+//                                      through a pipe — no sockets
+//
+// Responses are bit-identical between the two front-ends (and across
+// thread counts); `batch` additionally prints a one-line cache summary to
+// stderr, and the `{"op":"stats"}` control request reports counters
+// in-band for the daemon loop.
+#pragma once
+
+namespace hpcarbon::cli {
+
+/// `hpcarbon batch FILE [--out PATH] [--threads N] [--cache-mb M]
+/// [--shards N]` (argv excludes the subcommand itself).
+int cmd_batch(int argc, char** argv);
+
+/// `hpcarbon serve [--threads N] [--cache-mb M] [--shards N]`.
+int cmd_serve(int argc, char** argv);
+
+}  // namespace hpcarbon::cli

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "cli/dispatch.h"
 #include "core/csv.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
@@ -375,13 +376,8 @@ int cmd_sweep(int argc, char** argv) {
   opts.sched_samples =
       sched_samples_flag > 0 ? sched_samples_flag : (smoke ? 4 : 16);
 
-  if (threads == 0) {
-    threads = ThreadPool::env_thread_hint();
-    if (threads == 0) {
-      threads = std::max<std::size_t>(2, std::thread::hardware_concurrency());
-    }
-  }
-  ThreadPool::set_global_threads(threads);
+  ThreadPool::set_global_threads(threads > 0 ? threads
+                                             : default_worker_threads());
 
   const SweepReport report = run_sweep(opts);
   const auto selected = opts.sections.empty() ? sweep_sections()

@@ -1,0 +1,484 @@
+#include "core/json.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "core/error.h"
+
+namespace hpcarbon::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Value::Type got) {
+  static const char* names[] = {"null", "bool", "number", "string", "array",
+                                "object"};
+  throw Error(std::string("json: expected ") + want + ", value is " +
+              names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+Value Value::null() { return Value(); }
+
+Value Value::boolean(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::number(double d) {
+  HPC_REQUIRE(std::isfinite(d), "json: numbers must be finite");
+  Value v;
+  v.type_ = Type::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::string(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::array(std::vector<Value> items) {
+  Value v;
+  v.type_ = Type::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+Value Value::object(std::vector<Member> members) {
+  Value v;
+  v.type_ = Type::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+bool Value::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return str_;
+}
+
+const std::vector<Value>& Value::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return arr_;
+}
+
+const std::vector<Member>& Value::members() const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  return obj_;
+}
+
+std::size_t Value::size() const {
+  if (type_ == Type::kArray) return arr_.size();
+  if (type_ == Type::kObject) return obj_.size();
+  type_error("array or object", type_);
+}
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : members()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value& Value::set(std::string key, Value v) {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return *this;
+    }
+  }
+  obj_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+void Value::push_back(Value v) {
+  if (type_ != Type::kArray) type_error("array", type_);
+  arr_.push_back(std::move(v));
+}
+
+// --- Emission ---------------------------------------------------------------
+
+std::string dump_number(double v) {
+  HPC_REQUIRE(std::isfinite(v), "json: numbers must be finite");
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += esc;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void dump_value(const Value& v, bool sort_keys, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kNumber:
+      out += dump_number(v.as_number());
+      break;
+    case Value::Type::kString:
+      out += quote(v.as_string());
+      break;
+    case Value::Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const auto& item : v.items()) {
+        if (!first) out.push_back(',');
+        first = false;
+        dump_value(item, sort_keys, out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Value::Type::kObject: {
+      // Sorting indexes the member list rather than copying the values:
+      // members can be deep.
+      const auto& members = v.members();
+      std::vector<std::size_t> order(members.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      if (sort_keys) {
+        std::sort(order.begin(), order.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+          return members[a].first < members[b].first;
+        });
+      }
+      out.push_back('{');
+      bool first = true;
+      for (const std::size_t i : order) {
+        if (!first) out.push_back(',');
+        first = false;
+        out += quote(members[i].first);
+        out.push_back(':');
+        dump_value(members[i].second, sort_keys, out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(bool sort_keys) const {
+  std::string out;
+  dump_value(*this, sort_keys, out);
+  return out;
+}
+
+// --- Parsing ----------------------------------------------------------------
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw Error("json: unexpected end of input at offset " +
+                  std::to_string(pos_));
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value::null();
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Value::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Value::boolean(false);
+      case '"':
+        return Value::string(parse_string());
+      case '[':
+        return parse_array(depth);
+      case '{':
+        return parse_object(depth);
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == int_start) {
+      pos_ = start;
+      fail("expected a value");
+    }
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      pos_ = int_start;
+      fail("leading zeros are not allowed");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      const std::size_t frac = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == frac) fail("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      const std::size_t exp = pos_;
+      while (pos_ < text_.size() && std::isdigit(
+                 static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ == exp) fail("digits required in exponent");
+    }
+    double v = 0;
+    const auto res =
+        std::from_chars(text_.data() + start, text_.data() + pos_, v);
+    if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
+      fail("malformed number");
+    }
+    if (!std::isfinite(v)) fail("number out of double range");
+    return Value::number(v);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': append_codepoint(out); break;
+        default:
+          pos_ -= 1;
+          fail("unknown escape");
+      }
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned cp = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      cp <<= 4;
+      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("bad hex digit in \\u escape");
+    }
+    return cp;
+  }
+
+  void append_codepoint(std::string& out) {
+    unsigned cp = parse_hex4();
+    if (cp >= 0xD800 && cp <= 0xDBFF) {
+      // High surrogate: a low surrogate escape must follow.
+      if (!consume_literal("\\u")) fail("unpaired surrogate");
+      const unsigned lo = parse_hex4();
+      if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+      fail("unpaired surrogate");
+    }
+    // UTF-8 encode.
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Value parse_array(int depth) {
+    expect('[');
+    Value arr = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      skip_ws();
+      arr.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  Value parse_object(int depth) {
+    expect('{');
+    Value obj = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("object keys must be strings");
+      std::string key = parse_string();
+      // Duplicate keys would make the canonical form ambiguous about what
+      // was requested; reject rather than silently keeping one.
+      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      obj.set(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace hpcarbon::json

@@ -1,0 +1,113 @@
+// Minimal dependency-free JSON: the wire format of the serve layer.
+//
+// The repo's interchange format has been CSV (traces, reports); the query
+// service (src/serve) needs structured, self-describing requests and
+// responses, so this module adds the smallest JSON core that supports it:
+// objects, arrays, strings, numbers, booleans, and null, parsed from and
+// written to single-line documents (the serve front-ends speak
+// line-delimited JSON).
+//
+// Two properties matter more here than generality:
+//
+//  * Deterministic emission — dump() renders numbers through
+//    std::to_chars (shortest round-trip form), escapes identically
+//    everywhere, and can sort object keys. Responses must be bit-identical
+//    across front-ends and thread counts, and the request canonicalization
+//    (serve/request.h) hashes dumped text.
+//  * Strict parsing — unknown escapes, trailing garbage, ragged numbers,
+//    and duplicate object keys are errors (hpcarbon::Error with an offset),
+//    never silently accepted: a canonical cache key must not be ambiguous
+//    about what was asked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcarbon::json {
+
+class Value;
+/// One object member. Insertion order is preserved; dump(sort_keys=true)
+/// orders by key bytes without mutating the value.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Default-constructed value is null.
+  Value() = default;
+
+  static Value null();
+  static Value boolean(bool b);
+  /// Throws hpcarbon::Error for non-finite numbers (JSON cannot carry
+  /// NaN/Inf, and a canonical key must not depend on a platform's printf).
+  static Value number(double v);
+  static Value string(std::string s);
+  static Value array(std::vector<Value> items = {});
+  static Value object(std::vector<Member> members = {});
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw hpcarbon::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& items() const;      // array elements
+  const std::vector<Member>& members() const;   // object members
+
+  /// Array/object element count; throws for scalar types.
+  std::size_t size() const;
+
+  /// Object lookup; nullptr when the key is absent (throws if not an
+  /// object).
+  const Value* find(const std::string& key) const;
+
+  /// Object insert-or-replace, preserving the original position on
+  /// replace. Returns *this for chaining.
+  Value& set(std::string key, Value v);
+
+  /// Array append (throws if not an array).
+  void push_back(Value v);
+
+  /// Compact single-line rendering ({"a":1,"b":[true,null]}).
+  /// sort_keys orders every object's members by key bytes — the canonical
+  /// form the serve layer hashes.
+  std::string dump(bool sort_keys = false) const;
+
+  /// Parse exactly one document (leading/trailing whitespace allowed,
+  /// anything else after the value is an error). Throws hpcarbon::Error
+  /// with a byte offset on malformed input; nesting is capped at depth 64.
+  static Value parse(const std::string& text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Shortest round-trip decimal form of a finite double ("5", "0.1",
+/// "1e+30") via std::to_chars — the one number format every emitted
+/// document and canonical key uses.
+std::string dump_number(double v);
+
+/// JSON string literal for `s`: quotes added, ", \, and control characters
+/// escaped. The exact form dump() emits.
+std::string quote(std::string_view s);
+
+/// FNV-1a 64-bit hash (offset 0xcbf29ce484222325, prime 0x100000001b3):
+/// the canonical-key hash of the serve layer.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace hpcarbon::json

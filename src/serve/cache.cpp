@@ -1,0 +1,219 @@
+#include "serve/cache.h"
+
+#include "core/error.h"
+#include "grid/import.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+
+namespace hpcarbon::serve {
+
+// --- ResultCache ------------------------------------------------------------
+
+namespace {
+
+/// Approximate per-entry bookkeeping (list node + hash slot + key).
+constexpr std::size_t kEntryOverhead = 64;
+
+}  // namespace
+
+ResultCache::ResultCache(std::size_t shards, std::size_t byte_budget) {
+  HPC_REQUIRE(shards >= 1, "ResultCache needs at least one shard");
+  HPC_REQUIRE(byte_budget >= shards * kEntryOverhead,
+              "ResultCache byte budget too small for its shard count");
+  budget_per_shard_ = byte_budget / shards;
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+std::size_t ResultCache::entry_cost(std::string_view canonical,
+                                    std::string_view value) {
+  return canonical.size() + value.size() + kEntryOverhead;
+}
+
+ResultCache::Shard& ResultCache::shard_of(std::uint64_t key) {
+  // The canonical key is already FNV-mixed; the low bits select evenly.
+  return *shards_[key % shards_.size()];
+}
+
+std::optional<std::string> ResultCache::get(std::uint64_t key,
+                                            std::string_view canonical) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end() || it->second->canonical != canonical) {
+    ++s.misses;  // absent, or a 64-bit hash collision: never serve it
+    return std::nullopt;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  return it->second->value;
+}
+
+void ResultCache::put(std::uint64_t key, std::string_view canonical,
+                      std::string value) {
+  const std::size_t cost = entry_cost(canonical, value);
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (cost > budget_per_shard_) return;  // would evict the whole shard
+  const auto it = s.index.find(key);
+  if (it != s.index.end()) {
+    s.bytes -= entry_cost(it->second->canonical, it->second->value);
+    it->second->canonical = std::string(canonical);
+    it->second->value = std::move(value);
+    s.bytes += cost;
+    s.lru.splice(s.lru.begin(), s.lru, it->second);
+  } else {
+    s.lru.push_front(Entry{key, std::string(canonical), std::move(value)});
+    s.index[key] = s.lru.begin();
+    s.bytes += cost;
+    ++s.inserts;
+  }
+  while (s.bytes > budget_per_shard_) {
+    const Entry& victim = s.lru.back();
+    s.bytes -= entry_cost(victim.canonical, victim.value);
+    s.index.erase(victim.key);
+    s.lru.pop_back();
+    ++s.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  CacheStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total.hits += shard->hits;
+    total.misses += shard->misses;
+    total.evictions += shard->evictions;
+    total.inserts += shard->inserts;
+    total.entries += shard->lru.size();
+    total.bytes += shard->bytes;
+  }
+  return total;
+}
+
+// --- TraceStore -------------------------------------------------------------
+
+TraceStore& TraceStore::global() {
+  static TraceStore store;
+  return store;
+}
+
+TraceStore::TracePtr TraceStore::preset(const std::string& code) {
+  const std::string key = "preset:" + code;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      it->second.last_use = ++use_clock_;
+      return it->second.trace;
+    }
+  }
+  const auto spec = grid::find_region(code);
+  if (!spec) throw Error("TraceStore: unknown region code '" + code + "'");
+  // Generate outside the lock: a year-long synthetic trace is the
+  // expensive part, and concurrent first-touch generation of *different*
+  // regions should overlap. Two racing generations of the same code
+  // produce identical traces (the simulator is deterministic per spec);
+  // the first insert wins.
+  auto trace = std::make_shared<const grid::CarbonIntensityTrace>(
+      grid::GridSimulator(*spec).run());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] =
+      entries_.try_emplace(key, Entry{trace, {}, false, 0});
+  if (inserted) ++misses_;
+  else ++hits_;
+  it->second.last_use = ++use_clock_;
+  return it->second.trace;
+}
+
+TraceStore::TracePtr TraceStore::imported(const std::string& code,
+                                          const std::string& path,
+                                          std::string* note) {
+  const std::string key = "import:" + code + "=" + path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      it->second.last_use = ++use_clock_;
+      if (note != nullptr) *note = it->second.note;
+      return it->second.trace;
+    }
+  }
+  const auto spec = grid::find_region(code);
+  if (!spec) throw Error("TraceStore: unknown region code '" + code + "'");
+  grid::ImportOptions io;
+  io.tz = spec->tz;  // file rows are the region's local time
+  grid::ImportReport report;
+  auto trace = std::make_shared<const grid::CarbonIntensityTrace>(
+      grid::import_trace_file(path, code, io, &report));
+  Entry entry{std::move(trace),
+              code + " <- " + path + ": " + report.to_string(), true, 0};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = entries_.try_emplace(key, std::move(entry));
+  if (inserted) ++misses_;
+  else ++hits_;
+  it->second.last_use = ++use_clock_;
+  if (note != nullptr) *note = it->second.note;
+  TracePtr result = it->second.trace;
+  evict_imports_locked();
+  return result;
+}
+
+void TraceStore::evict_imports_locked() {
+  // Presets never evict (seven at most, shared by every consumer); the
+  // least-recently-used imports go first. Holders of an evicted trace's
+  // shared_ptr keep a valid object.
+  while (true) {
+    std::size_t imports = 0;
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (!it->second.is_import) continue;
+      ++imports;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (imports <= max_imports_ || victim == entries_.end()) return;
+    entries_.erase(victim);
+  }
+}
+
+void TraceStore::set_max_imports(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  max_imports_ = n;
+  evict_imports_locked();
+}
+
+std::size_t TraceStore::max_imports() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_imports_;
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t TraceStore::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t TraceStore::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void TraceStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace hpcarbon::serve

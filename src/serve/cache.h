@@ -1,0 +1,165 @@
+// Result + trace caching: the memory layer of the serve subsystem.
+//
+// Two caches with different lifetimes and shapes:
+//
+//  * ResultCache — a sharded LRU over rendered result documents, keyed by
+//    the canonical FNV-1a/64 request hash (serve/request.h). N independent
+//    mutex-guarded shards (key-selected) keep concurrent lookups from
+//    serializing on one lock; the byte budget is split evenly across
+//    shards and enforced by LRU eviction per shard. Hit/miss/eviction
+//    counters aggregate over shards for the stats op and bench_serve.
+//
+//  * TraceStore — a process-wide store of immutable, fully-built
+//    CarbonIntensityTraces behind shared_ptr. Generating a preset region's
+//    synthetic year and parsing a --trace-csv file both cost orders of
+//    magnitude more than any single query; the store does each exactly
+//    once per process and hands out shared, already-prefix-summed traces.
+//    The CLI's traces_for (scenario_runner) and every serve query pull
+//    traces through it, so multi-section sweeps and repeated queries stop
+//    re-parsing identical inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/trace.h"
+
+namespace hpcarbon::serve {
+
+/// Aggregate counters over all shards (one consistent-enough snapshot;
+/// shards are read one lock at a time).
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t inserts = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+class ResultCache {
+ public:
+  /// `byte_budget` is split evenly across `shards`; both must be >= 1.
+  explicit ResultCache(std::size_t shards = 8,
+                       std::size_t byte_budget = 8u << 20);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Cached value for the canonical key, refreshing its LRU position;
+  /// nullopt on miss. The full canonical string is verified on a hash
+  /// hit — FNV-1a/64 is not collision-proof, and a collision must read
+  /// as a miss, never as a confidently wrong answer. Counts one hit or
+  /// one miss.
+  std::optional<std::string> get(std::uint64_t key,
+                                 std::string_view canonical);
+
+  /// Insert or refresh (a hash collision replaces the resident entry —
+  /// latest canonical wins). Evicts least-recently-used entries of the
+  /// shard until it fits its budget. A value whose own cost exceeds the
+  /// shard budget is not cached at all (it would evict the entire shard
+  /// for a one-shot entry).
+  void put(std::uint64_t key, std::string_view canonical, std::string value);
+
+  CacheStats stats() const;
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t byte_budget() const { return budget_per_shard_ * shards_.size(); }
+
+  /// Budgeted cost of one entry: canonical + value bytes + bookkeeping
+  /// overhead.
+  static std::size_t entry_cost(std::string_view canonical,
+                                std::string_view value);
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::string canonical;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  Shard& shard_of(std::uint64_t key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::size_t budget_per_shard_;
+};
+
+class TraceStore {
+ public:
+  using TracePtr = std::shared_ptr<const grid::CarbonIntensityTrace>;
+
+  TraceStore() = default;
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Process-wide store shared by the CLI tools and serve engines.
+  static TraceStore& global();
+
+  /// The generated synthetic trace of a Table 3 region code, built once
+  /// (bit-identical to grid::generate_traces — the simulator is
+  /// deterministic per RegionSpec). Throws hpcarbon::Error for unknown
+  /// codes.
+  TracePtr preset(const std::string& code);
+
+  /// The imported trace of (region code, CSV path): read + parsed once,
+  /// rows taken as the region's local time, native cadence. `note`
+  /// receives the human-readable import summary ("ESO <- f.csv: ...")
+  /// recorded when the file was first parsed. Throws on unknown codes and
+  /// on any import error.
+  TracePtr imported(const std::string& code, const std::string& path,
+                    std::string* note = nullptr);
+
+  /// Traces currently held.
+  std::size_t size() const;
+  /// Lookup counters (a miss is a generate/parse).
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  /// Drop every cached trace and reset counters (tests).
+  void clear();
+
+  /// Cap on *imported* traces held at once (presets are bounded by the
+  /// seven Table 3 regions and never evicted). When a new import would
+  /// exceed the cap, the least-recently-used import is dropped — holders
+  /// of its shared_ptr are unaffected; the next request for it re-parses.
+  /// Bounds daemon memory when clients name many distinct trace_csv
+  /// paths. Default 32 (a year of 5-minute data is ~1.7 MB shared).
+  void set_max_imports(std::size_t n);
+  std::size_t max_imports() const;
+
+ private:
+  struct Entry {
+    TracePtr trace;
+    std::string note;
+    bool is_import = false;
+    std::uint64_t last_use = 0;  // recency stamp for import eviction
+  };
+
+  void evict_imports_locked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t use_clock_ = 0;
+  std::size_t max_imports_ = 32;
+};
+
+}  // namespace hpcarbon::serve

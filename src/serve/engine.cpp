@@ -1,0 +1,461 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "core/time.h"
+#include "embodied/catalog.h"
+#include "embodied/models.h"
+#include "grid/analysis.h"
+#include "hw/node.h"
+#include "lifecycle/footprint.h"
+#include "lifecycle/scenario.h"
+#include "lifecycle/uncertainty.h"
+#include "lifecycle/upgrade.h"
+#include "op/pue.h"
+#include "sched/engine.h"
+#include "sched/policy.h"
+#include "sched/workload_gen.h"
+#include "workload/suite.h"
+
+namespace hpcarbon::serve {
+
+namespace {
+
+double num(const json::Value& params, const char* key) {
+  const json::Value* f = params.find(key);
+  HPC_REQUIRE(f != nullptr, std::string("normalized params miss '") + key + "'");
+  return f->as_number();
+}
+
+const std::string& str(const json::Value& params, const char* key) {
+  const json::Value* f = params.find(key);
+  HPC_REQUIRE(f != nullptr, std::string("normalized params miss '") + key + "'");
+  return f->as_string();
+}
+
+hw::NodeConfig node_from_slug(const std::string& slug) {
+  if (slug == "p100") return hw::p100_node();
+  if (slug == "v100") return hw::v100_node();
+  if (slug == "a100") return hw::a100_node();
+  throw Error("unknown node slug '" + slug + "'");
+}
+
+workload::Suite suite_from_slug(const std::string& slug) {
+  if (slug == "nlp") return workload::Suite::kNlp;
+  if (slug == "vision") return workload::Suite::kVision;
+  if (slug == "candle") return workload::Suite::kCandle;
+  throw Error("unknown suite slug '" + slug + "'");
+}
+
+/// The query's trace: the imported file when trace_csv is present, the
+/// generated preset otherwise. Both come pre-built from the store.
+TraceStore::TracePtr query_trace(const json::Value& params, TraceStore& traces,
+                                 std::string* note) {
+  const std::string& region = str(params, "region");
+  if (const json::Value* path = params.find("trace_csv")) {
+    return traces.imported(region, path->as_string(), note);
+  }
+  return traces.preset(region);
+}
+
+json::Value evaluate_embodied(const json::Value& params) {
+  const embodied::PartId id = part_from_slug(str(params, "part"));
+  const embodied::EmbodiedBreakdown b = embodied::embodied_of(id);
+  json::Value out = json::Value::object();
+  out.set("display_name", json::Value::string(embodied::display_name(id)));
+  out.set("manufacturing_g", json::Value::number(b.manufacturing.to_grams()));
+  out.set("packaging_g", json::Value::number(b.packaging.to_grams()));
+  out.set("packaging_share", json::Value::number(b.packaging_share()));
+  out.set("total_g", json::Value::number(b.total().to_grams()));
+  return out;
+}
+
+json::Value evaluate_lifetime(const json::Value& params, TraceStore& traces) {
+  const hw::NodeConfig node = node_from_slug(str(params, "node"));
+  const workload::Suite suite = suite_from_slug(str(params, "suite"));
+  const double years = num(params, "years");
+  const double usage = num(params, "gpu_usage");
+  const op::PueModel pue(num(params, "pue"));
+  const HourOfYear start(
+      month_start_hour(static_cast<int>(num(params, "start_month"))));
+  std::string note;
+  const TraceStore::TracePtr trace = query_trace(params, traces, &note);
+
+  const lifecycle::TotalFootprint fp = lifecycle::node_lifetime_footprint(
+      node, suite, usage, years, *trace, start, pue);
+  json::Value out = json::Value::object();
+  out.set("embodied_g", json::Value::number(fp.embodied.to_grams()));
+  out.set("embodied_share", json::Value::number(fp.embodied_share()));
+  out.set("operational_g", json::Value::number(fp.operational.to_grams()));
+  out.set("total_g", json::Value::number(fp.total().to_grams()));
+  if (!note.empty()) out.set("import", json::Value::string(note));
+
+  const int samples = static_cast<int>(num(params, "samples"));
+  if (samples > 0) {
+    lifecycle::LifecycleBands bands;  // default embodied bands
+    bands.grid_ci = num(params, "grid_band");
+    const mc::SamplePlan plan{
+        samples, static_cast<std::uint64_t>(num(params, "seed")), nullptr};
+    const lifecycle::FootprintDistribution d =
+        lifecycle::node_lifetime_footprint_distribution(
+            node, suite, usage, years, *trace, start, pue, bands, plan);
+    out.set("samples", json::Value::number(samples));
+    out.set("total_p05_g", json::Value::number(d.total.p05()));
+    out.set("total_p50_g", json::Value::number(d.total.p50()));
+    out.set("total_p95_g", json::Value::number(d.total.p95()));
+  }
+  return out;
+}
+
+json::Value evaluate_breakeven(const json::Value& params) {
+  lifecycle::UpgradeScenario s;
+  s.old_node = node_from_slug(str(params, "old_node"));
+  s.new_node = node_from_slug(str(params, "new_node"));
+  s.suite = suite_from_slug(str(params, "suite"));
+  s.intensity =
+      CarbonIntensity::grams_per_kwh(num(params, "intensity_g_per_kwh"));
+  s.usage = lifecycle::UsageProfile{num(params, "gpu_usage")};
+  s.pue = op::PueModel(num(params, "pue"));
+  const lifecycle::GridTrajectory traj(s.intensity,
+                                       num(params, "annual_decline"));
+  const double horizon = num(params, "horizon_years");
+
+  const auto be = lifecycle::breakeven_years(s, traj, horizon);
+  json::Value out = json::Value::object();
+  out.set("asymptotic_savings_pct",
+          json::Value::number(lifecycle::asymptotic_savings_percent(s)));
+  out.set("breakeven_years",
+          be ? json::Value::number(*be) : json::Value::null());
+  out.set("pays_back", json::Value::boolean(be.has_value()));
+  out.set("savings_pct_at_horizon",
+          json::Value::number(lifecycle::savings_percent(s, traj, horizon)));
+  return out;
+}
+
+json::Value evaluate_sched(const json::Value& params, TraceStore& traces) {
+  std::vector<std::string> codes;
+  for (const auto& item : params.find("regions")->items()) {
+    codes.push_back(item.as_string());
+  }
+  std::vector<TraceStore::TracePtr> region_traces;
+  std::vector<grid::RegionSummary> summaries;
+  for (const auto& code : codes) {
+    region_traces.push_back(traces.preset(code));
+    summaries.push_back(grid::summarize(*region_traces.back()));
+  }
+
+  // Site trio mirrors run_scenarios: the home region plus the two cleanest
+  // (lowest annual median CI) other selected regions as remote options —
+  // same construction, same numbers.
+  std::vector<std::size_t> by_median(codes.size());
+  for (std::size_t i = 0; i < by_median.size(); ++i) by_median[i] = i;
+  std::sort(by_median.begin(), by_median.end(),
+            [&](std::size_t a, std::size_t b) {
+              return summaries[a].box.median < summaries[b].box.median;
+            });
+  const int capacity = static_cast<int>(num(params, "capacity"));
+  std::vector<sched::Site> sites = {
+      sched::make_site(codes[0], *region_traces[0], capacity)};
+  for (const std::size_t idx : by_median) {
+    if (idx == 0 || sites.size() >= 3) continue;
+    sites.push_back(
+        sched::make_site(codes[idx], *region_traces[idx], capacity));
+  }
+
+  sched::WorkloadParams wp;
+  wp.horizon_hours = 24.0 * num(params, "days");
+  wp.arrival_rate_per_hour = num(params, "rate");
+  wp.seed = static_cast<std::uint64_t>(num(params, "seed"));
+  const auto jobs = sched::generate_jobs(wp);
+  const HourOfYear epoch(
+      month_start_hour(static_cast<int>(num(params, "start_month"))));
+
+  sched::SchedulingEngine engine(sites, epoch);
+  const auto baseline_policy = sched::make_policy("fcfs-local");
+  const auto base = engine.run(jobs, *baseline_policy);
+  const auto policy = sched::make_policy(str(params, "policy"));
+  const auto metrics = engine.run(jobs, *policy);
+
+  const double base_g = base.total_carbon.to_grams();
+  const double g = metrics.total_carbon.to_grams();
+  json::Value out = json::Value::object();
+  out.set("baseline_carbon_kg",
+          json::Value::number(base.total_carbon.to_kilograms()));
+  out.set("carbon_kg", json::Value::number(metrics.total_carbon.to_kilograms()));
+  out.set("jobs", json::Value::number(static_cast<double>(jobs.size())));
+  out.set("jobs_completed", json::Value::number(metrics.jobs_completed));
+  out.set("mean_wait_hours", json::Value::number(metrics.mean_wait_hours));
+  out.set("p95_wait_hours", json::Value::number(metrics.p95_wait_hours));
+  out.set("remote_dispatches", json::Value::number(metrics.remote_dispatches));
+  out.set("savings_pct", json::Value::number(
+                             base_g > 0 ? 100.0 * (base_g - g) / base_g : 0.0));
+  return out;
+}
+
+json::Value evaluate_trace(const json::Value& params, TraceStore& traces) {
+  std::string note;
+  const TraceStore::TracePtr trace = query_trace(params, traces, &note);
+  const grid::RegionSummary summary = grid::summarize(*trace);
+
+  json::Value out = json::Value::object();
+  out.set("cov_pct", json::Value::number(summary.cov_percent));
+  out.set("max", json::Value::number(summary.box.max));
+  out.set("mean", json::Value::number(summary.box.mean));
+  out.set("median", json::Value::number(summary.box.median));
+  out.set("min", json::Value::number(summary.box.min));
+  out.set("p25", json::Value::number(summary.box.q1));
+  out.set("p75", json::Value::number(summary.box.q3));
+  out.set("samples", json::Value::number(static_cast<double>(trace->size())));
+  out.set("step_seconds", json::Value::number(trace->step_seconds()));
+  if (!note.empty()) out.set("import", json::Value::string(note));
+  if (const json::Value* start = params.find("window_start_hour")) {
+    const double hours = num(params, "window_hours");
+    // O(1) through the prefix sums the trace was built with.
+    out.set("window_mean",
+            json::Value::number(
+                trace->interval_sum(start->as_number(), hours) / hours));
+  }
+  return out;
+}
+
+// --- Response assembly ------------------------------------------------------
+//
+// Responses are assembled as text around the cached result document, so a
+// cache hit and a fresh evaluation emit byte-identical lines. Key order
+// is the sorted order dump(sort_keys) would produce.
+
+std::string success_response(const std::string& id, const std::string& op,
+                             const std::string& result) {
+  std::string out = "{";
+  if (!id.empty()) out += "\"id\":" + json::quote(id) + ",";
+  out += "\"ok\":true,\"op\":" + json::quote(op) + ",\"result\":" + result +
+         "}";
+  return out;
+}
+
+std::string error_response(const std::string& id, const std::string& what) {
+  std::string out = "{\"error\":" + json::quote(what);
+  if (!id.empty()) out += ",\"id\":" + json::quote(id);
+  out += ",\"ok\":false}";
+  return out;
+}
+
+/// The id of a parsed request document, for error correlation on
+/// documents that fail validation; empty when there is no string id.
+std::string salvage_id(const json::Value& doc) {
+  if (doc.is_object()) {
+    if (const json::Value* id = doc.find("id"); id && id->is_string()) {
+      return id->as_string();
+    }
+  }
+  return {};
+}
+
+/// One request line, parsed exactly once and classified. kError carries
+/// its final response; kStats is answered at its sequence point; kQuery
+/// goes through the cache/evaluate path.
+struct Planned {
+  enum class Kind { kError, kStats, kQuery } kind = Kind::kError;
+  Query q;              // kQuery
+  std::string response; // kError
+  std::string stats_id; // kStats
+};
+
+Planned plan_line(const std::string& line) {
+  Planned p;
+  json::Value doc;
+  try {
+    doc = json::Value::parse(line);
+  } catch (const Error& e) {
+    p.response = error_response({}, e.what());
+    return p;
+  }
+  if (doc.is_object()) {
+    if (const json::Value* op = doc.find("op");
+        op != nullptr && op->is_string() && op->as_string() == "stats") {
+      // The control request is validated as strictly as any family:
+      // unknown fields and a non-string id are errors, not defaults.
+      for (const auto& [k, v] : doc.members()) {
+        if (k != "op" && k != "id") {
+          p.response = error_response(
+              salvage_id(doc),
+              "request has unknown top-level field '" + k +
+                  "' (stats takes only op and id)");
+          return p;
+        }
+      }
+      if (const json::Value* id = doc.find("id")) {
+        if (!id->is_string()) {
+          p.response = error_response({}, "request 'id' must be a string");
+          return p;
+        }
+        p.stats_id = id->as_string();
+      }
+      p.kind = Planned::Kind::kStats;
+      return p;
+    }
+  }
+  try {
+    p.q = parse_query(doc);
+    p.kind = Planned::Kind::kQuery;
+  } catch (const Error& e) {
+    p.response = error_response(salvage_id(doc), e.what());
+  }
+  return p;
+}
+
+}  // namespace
+
+json::Value evaluate(const Query& q, TraceStore& traces) {
+  if (q.op == "embodied") return evaluate_embodied(q.params);
+  if (q.op == "lifetime") return evaluate_lifetime(q.params, traces);
+  if (q.op == "breakeven") return evaluate_breakeven(q.params);
+  if (q.op == "sched") return evaluate_sched(q.params, traces);
+  if (q.op == "trace") return evaluate_trace(q.params, traces);
+  throw Error("unknown op '" + q.op + "'");
+}
+
+Engine::Engine(ServeOptions opts)
+    : opts_(opts), cache_(opts.cache_shards, opts.cache_bytes) {}
+
+ThreadPool& Engine::pool() const {
+  return opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
+}
+
+TraceStore& Engine::traces() const {
+  return opts_.traces != nullptr ? *opts_.traces : TraceStore::global();
+}
+
+std::string Engine::stats_response(const std::string& id) const {
+  const CacheStats cs = cache_.stats();
+  const TraceStore& ts = traces();
+  json::Value out = json::Value::object();
+  out.set("bytes", json::Value::number(static_cast<double>(cs.bytes)));
+  out.set("byte_budget",
+          json::Value::number(static_cast<double>(cache_.byte_budget())));
+  out.set("entries", json::Value::number(static_cast<double>(cs.entries)));
+  out.set("evictions", json::Value::number(static_cast<double>(cs.evictions)));
+  out.set("hits", json::Value::number(static_cast<double>(cs.hits)));
+  out.set("inserts", json::Value::number(static_cast<double>(cs.inserts)));
+  out.set("misses", json::Value::number(static_cast<double>(cs.misses)));
+  out.set("shards",
+          json::Value::number(static_cast<double>(cache_.shard_count())));
+  out.set("trace_entries", json::Value::number(static_cast<double>(ts.size())));
+  out.set("trace_hits", json::Value::number(static_cast<double>(ts.hits())));
+  out.set("trace_misses",
+          json::Value::number(static_cast<double>(ts.misses())));
+  return success_response(id, "stats", out.dump(/*sort_keys=*/true));
+}
+
+namespace {
+
+std::string answer_query(ResultCache& cache, TraceStore& traces,
+                         const Query& q) {
+  if (auto cached = cache.get(q.key, q.canonical)) {
+    return success_response(q.id, q.op, *cached);
+  }
+  try {
+    const std::string result = evaluate(q, traces).dump(/*sort_keys=*/true);
+    cache.put(q.key, q.canonical, result);
+    return success_response(q.id, q.op, result);
+  } catch (const Error& e) {
+    return error_response(q.id, e.what());  // runtime failures not cached
+  }
+}
+
+void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
+                    std::vector<Planned>& plan, std::size_t begin,
+                    std::size_t end, std::vector<std::string>& responses) {
+  // Plan the segment: errors are final, cache hits answer immediately,
+  // and identical in-flight canonical keys dedup to one leader.
+  std::unordered_map<std::uint64_t, std::size_t> first_of;
+  std::vector<std::size_t> leaders;
+  std::vector<bool> follower(end - begin, false);
+  for (std::size_t i = begin; i < end; ++i) {
+    Planned& p = plan[i];
+    if (p.kind == Planned::Kind::kError) {
+      responses[i] = p.response;
+      continue;
+    }
+    if (first_of.count(p.q.key) != 0) {
+      follower[i - begin] = true;  // answered from the leader's fill below
+      continue;
+    }
+    if (auto cached = cache.get(p.q.key, p.q.canonical)) {
+      responses[i] = success_response(p.q.id, p.q.op, *cached);
+      continue;
+    }
+    first_of[p.q.key] = i;
+    leaders.push_back(i);
+  }
+
+  // Distinct uncached queries fan out over the pool. Each leader writes
+  // only its own response slot, so the fan-out is race-free and the
+  // output is bit-identical for any worker count (evaluation is
+  // deterministic per canonical query).
+  pool.parallel_for(0, leaders.size(), [&](std::size_t k) {
+    const Query& q = plan[leaders[k]].q;
+    try {
+      const std::string result = evaluate(q, traces).dump(/*sort_keys=*/true);
+      cache.put(q.key, q.canonical, result);
+      responses[leaders[k]] = success_response(q.id, q.op, result);
+    } catch (const Error& e) {
+      responses[leaders[k]] = error_response(q.id, e.what());
+    }
+  });
+
+  // Followers read their leader's freshly-cached result (a real counted
+  // hit, matching what a sequential replay would record). If the entry
+  // was already evicted — tiny budgets — or the leader failed, the
+  // follower takes the same miss -> evaluate -> put path a sequential
+  // replay would: deterministic evaluation reproduces the same bytes.
+  // (Counters match sequential replay too, except under intra-segment
+  // eviction churn, where racing leader puts make hit/miss/eviction
+  // totals timing-dependent — see the handle_batch contract.)
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!follower[i - begin]) continue;
+    const Query& q = plan[i].q;
+    responses[i] = answer_query(cache, traces, q);
+  }
+}
+
+}  // namespace
+
+std::string Engine::handle_line(const std::string& line) {
+  Planned p = plan_line(line);
+  switch (p.kind) {
+    case Planned::Kind::kError:
+      return p.response;
+    case Planned::Kind::kStats:
+      return stats_response(p.stats_id);
+    case Planned::Kind::kQuery:
+      return answer_query(cache_, traces(), p.q);
+  }
+  return p.response;  // unreachable
+}
+
+std::vector<std::string> Engine::handle_batch(
+    const std::vector<std::string>& lines) {
+  // Parse every line exactly once, then answer in segments delimited by
+  // {"op":"stats"} control requests: a stats line is a sequence point —
+  // it reports the counters after everything before it and nothing after
+  // it, exactly as a sequential handle_line replay would.
+  std::vector<Planned> plan(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) plan[i] = plan_line(lines[i]);
+
+  std::vector<std::string> responses(lines.size());
+  std::size_t segment_start = 0;
+  for (std::size_t i = 0; i <= lines.size(); ++i) {
+    if (i < lines.size() && plan[i].kind != Planned::Kind::kStats) continue;
+    answer_segment(cache_, pool(), traces(), plan, segment_start, i,
+                   responses);
+    if (i < lines.size()) responses[i] = stats_response(plan[i].stats_id);
+    segment_start = i + 1;
+  }
+  return responses;
+}
+
+}  // namespace hpcarbon::serve

@@ -1,0 +1,92 @@
+// Concurrent carbon-query engine: the execution half of the serve layer.
+//
+// One Engine owns a ResultCache and answers request lines
+// (serve/request.h) with response lines:
+//
+//   {"id":"q1","ok":true,"op":"lifetime","result":{...}}      success
+//   {"error":"...","id":"q1","ok":false}                      invalid
+//
+// Responses are a pure function of the canonical request — the client id
+// is echoed but never changes the result, and cache state is reported
+// only through the separate {"op":"stats"} control request — so the batch
+// front-end, the stdin/stdout daemon loop, repeated runs, and every
+// thread count all emit bit-identical bytes for the same question.
+//
+// handle_batch is the planner: it parses every line, answers cache hits
+// immediately, dedups identical in-flight canonical keys down to one
+// leader evaluation, fans the distinct leaders over the pool
+// (ThreadPool::global() by default), and assembles responses in input
+// order. Evaluation itself calls the same library seams as `hpcarbon
+// run`/`sweep`/`trace` (deterministic, mc::substream-seeded where
+// sampling is requested), so service answers agree with the offline
+// tools.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/cache.h"
+#include "serve/request.h"
+
+namespace hpcarbon {
+class ThreadPool;
+}
+
+namespace hpcarbon::serve {
+
+struct ServeOptions {
+  /// ResultCache geometry.
+  std::size_t cache_shards = 8;
+  std::size_t cache_bytes = 8u << 20;
+  /// Pool the batch planner fans leaders over; nullptr selects
+  /// ThreadPool::global(). Responses are bit-identical either way.
+  ThreadPool* pool = nullptr;
+  /// Trace source; nullptr selects TraceStore::global().
+  TraceStore* traces = nullptr;
+};
+
+/// Answer one validated query against the library (no caching). Returns
+/// the result object; throws hpcarbon::Error for runtime failures (e.g. an
+/// unreadable trace_csv path). Exposed for tests that compare service
+/// answers against direct library calls.
+json::Value evaluate(const Query& q, TraceStore& traces);
+
+class Engine {
+ public:
+  explicit Engine(ServeOptions opts = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// One request line -> one response line (no trailing newline). Invalid
+  /// requests yield ok:false responses, never throws. The {"op":"stats"}
+  /// control request answers cache counters and is itself never cached.
+  std::string handle_line(const std::string& line);
+
+  /// Answer a whole batch; responses to query requests are parallel to
+  /// `lines` and byte-identical to feeding the lines through handle_line
+  /// one at a time on an equally-warm engine. Distinct uncached queries
+  /// evaluate concurrently; duplicates within the batch evaluate once; a
+  /// stats line is a sequence point (it reports counters as of
+  /// everything before it in the batch, like a sequential replay would).
+  /// Caveat: when the cache is so small that entries evict each other
+  /// *within one segment*, leader puts race and the hit/miss/eviction
+  /// counts a stats line reports can differ from sequential replay —
+  /// query responses themselves never do.
+  std::vector<std::string> handle_batch(const std::vector<std::string>& lines);
+
+  CacheStats cache_stats() const { return cache_.stats(); }
+  const ServeOptions& options() const { return opts_; }
+
+ private:
+  ThreadPool& pool() const;
+  TraceStore& traces() const;
+  /// {"op":"stats"} response body for the current counters.
+  std::string stats_response(const std::string& id) const;
+
+  ServeOptions opts_;
+  ResultCache cache_;
+};
+
+}  // namespace hpcarbon::serve

@@ -1,0 +1,355 @@
+#include "serve/request.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/error.h"
+#include "core/time.h"
+#include "grid/presets.h"
+#include "sched/policy.h"
+
+namespace hpcarbon::serve {
+
+namespace {
+
+/// Largest integer parameter the canonical form can carry exactly: the
+/// normalized document stores numbers as doubles, so anything above 2^53
+/// would canonicalize lossily.
+constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+
+/// Strict, consuming view over a request's params object. Every getter
+/// validates its field, records it as consumed, and writes the normalized
+/// value (default filled, name canonicalized) into the normalized object;
+/// finish() rejects any field no getter claimed.
+class ParamReader {
+ public:
+  ParamReader(const json::Value* in, std::string op) : in_(in),
+      op_(std::move(op)), out_(json::Value::object()) {}
+
+  bool has(const char* key) const {
+    return in_ != nullptr && in_->find(key) != nullptr;
+  }
+
+  double number(const char* key, double def, double lo, double hi) {
+    double v = def;
+    if (const json::Value* f = claim(key)) {
+      if (!f->is_number()) fail(key, "must be a number");
+      v = f->as_number();
+    }
+    if (!(v >= lo && v <= hi)) {
+      fail(key, "must be in [" + json::dump_number(lo) + ", " +
+                    json::dump_number(hi) + "]");
+    }
+    out_.set(key, json::Value::number(v));
+    return v;
+  }
+
+  long integer(const char* key, long def, long lo, long hi) {
+    double v = static_cast<double>(def);
+    if (const json::Value* f = claim(key)) {
+      if (!f->is_number()) fail(key, "must be an integer");
+      v = f->as_number();
+      if (v != std::floor(v) || std::abs(v) > kMaxExactInt) {
+        fail(key, "must be an integer");
+      }
+    }
+    const long n = static_cast<long>(v);
+    if (n < lo || n > hi) {
+      fail(key, "must be in [" + std::to_string(lo) + ", " +
+                    std::to_string(hi) + "]");
+    }
+    out_.set(key, json::Value::number(static_cast<double>(n)));
+    return n;
+  }
+
+  std::string str(const char* key, const char* def) {
+    std::string v = def;
+    if (const json::Value* f = claim(key)) {
+      if (!f->is_string()) fail(key, "must be a string");
+      v = f->as_string();
+    }
+    out_.set(key, json::Value::string(v));
+    return v;
+  }
+
+  std::string required_str(const char* key) {
+    const json::Value* f = claim(key);
+    if (f == nullptr) fail(key, "is required");
+    if (!f->is_string()) fail(key, "must be a string");
+    out_.set(key, json::Value::string(f->as_string()));
+    return f->as_string();
+  }
+
+  /// Optional string; absent fields stay absent in the normalized params
+  /// (no default exists — e.g. trace_csv paths).
+  std::string optional_str(const char* key) {
+    const json::Value* f = claim(key);
+    if (f == nullptr) return {};
+    if (!f->is_string() || f->as_string().empty()) {
+      fail(key, "must be a non-empty string");
+    }
+    out_.set(key, json::Value::string(f->as_string()));
+    return f->as_string();
+  }
+
+  /// Replace the normalized value of an already-claimed field (name
+  /// canonicalization: short policy names, etc.).
+  void rewrite(const char* key, std::string canonical_value) {
+    out_.set(key, json::Value::string(std::move(canonical_value)));
+  }
+
+  std::vector<std::string> string_array(const char* key,
+                                        std::vector<std::string> def,
+                                        std::size_t min_len,
+                                        std::size_t max_len) {
+    std::vector<std::string> v = std::move(def);
+    if (const json::Value* f = claim(key)) {
+      if (!f->is_array()) fail(key, "must be an array of strings");
+      v.clear();
+      for (const auto& item : f->items()) {
+        if (!item.is_string()) fail(key, "must be an array of strings");
+        v.push_back(item.as_string());
+      }
+    }
+    if (v.size() < min_len || v.size() > max_len) {
+      fail(key, "must have between " + std::to_string(min_len) + " and " +
+                    std::to_string(max_len) + " entries");
+    }
+    json::Value arr = json::Value::array();
+    for (const auto& s : v) arr.push_back(json::Value::string(s));
+    out_.set(key, std::move(arr));
+    return v;
+  }
+
+  [[noreturn]] void fail(const char* key, const std::string& what) const {
+    throw Error("query '" + op_ + "': parameter '" + key + "' " + what);
+  }
+
+  void finish() {
+    if (in_ == nullptr) return;
+    for (const auto& [k, v] : in_->members()) {
+      if (consumed_.count(k) == 0) {
+        throw Error("query '" + op_ + "': unknown parameter '" + k + "'");
+      }
+    }
+  }
+
+  json::Value take() { return std::move(out_); }
+
+ private:
+  const json::Value* claim(const char* key) {
+    consumed_.insert(key);
+    return in_ == nullptr ? nullptr : in_->find(key);
+  }
+
+  const json::Value* in_;
+  std::string op_;
+  std::set<std::string> consumed_;
+  json::Value out_;
+};
+
+const std::vector<std::pair<const char*, embodied::PartId>>& slug_table() {
+  using embodied::PartId;
+  static const std::vector<std::pair<const char*, PartId>> table = {
+      {"mi250x", PartId::kMi250x},
+      {"a100-pcie-40", PartId::kA100Pcie40},
+      {"v100-sxm2-32", PartId::kV100Sxm2_32},
+      {"epyc-7763", PartId::kEpyc7763},
+      {"epyc-7742", PartId::kEpyc7742},
+      {"xeon-gold-6240r", PartId::kXeonGold6240R},
+      {"dram-64gb-ddr4", PartId::kDram64GbDdr4},
+      {"ssd-nytro-3530", PartId::kSsdNytro3530_3_2Tb},
+      {"hdd-exos-x16", PartId::kHddExosX16_16Tb},
+      {"p100-pcie-16", PartId::kP100Pcie16},
+      {"a100-sxm4-40", PartId::kA100Sxm4_40},
+      {"xeon-e5-2680", PartId::kXeonE5_2680},
+      {"epyc-7542", PartId::kEpyc7542},
+  };
+  return table;
+}
+
+void check_region(ParamReader& r, const char* key, const std::string& code) {
+  if (!grid::find_region(code)) {
+    std::string known;
+    for (const auto& c : grid::codes_of(grid::all_regions())) {
+      known += (known.empty() ? "" : ", ") + c;
+    }
+    r.fail(key, "names no Table 3 region (known: " + known + ")");
+  }
+}
+
+void check_node(ParamReader& r, const char* key, const std::string& node) {
+  if (node != "p100" && node != "v100" && node != "a100") {
+    r.fail(key, "must be one of p100, v100, a100");
+  }
+}
+
+void check_suite(ParamReader& r, const char* key, const std::string& suite) {
+  if (suite != "nlp" && suite != "vision" && suite != "candle") {
+    r.fail(key, "must be one of nlp, vision, candle");
+  }
+}
+
+void normalize_embodied(ParamReader& r) {
+  const std::string part = r.required_str("part");
+  const auto& table = slug_table();
+  const bool known = std::any_of(table.begin(), table.end(), [&](auto& e) {
+    return part == e.first;
+  });
+  if (!known) {
+    std::string slugs;
+    for (const auto& s : part_slugs()) slugs += (slugs.empty() ? "" : ", ") + s;
+    r.fail("part", "names no catalog part (known: " + slugs + ")");
+  }
+}
+
+void normalize_lifetime(ParamReader& r) {
+  check_node(r, "node", r.required_str("node"));
+  check_suite(r, "suite", r.str("suite", "nlp"));
+  r.number("years", 5.0, 0.1, 100.0);
+  r.number("gpu_usage", 0.40, 0.01, 1.0);
+  check_region(r, "region", r.str("region", "CISO"));
+  r.optional_str("trace_csv");
+  r.integer("start_month", 5, 0, 11);
+  r.number("pue", 1.2, 1.0, 3.0);
+  // samples > 0 switches on the Monte-Carlo quantile columns; the draws
+  // ride mc::substream(seed, i) so the answer is bit-identical whatever
+  // pool executes it.
+  r.integer("samples", 0, 0, 1000000);
+  r.integer("seed", 42, 0, static_cast<long>(kMaxExactInt));
+  r.number("grid_band", 0.10, 0.0, 0.99);
+}
+
+void normalize_breakeven(ParamReader& r) {
+  check_node(r, "old_node", r.str("old_node", "v100"));
+  check_node(r, "new_node", r.str("new_node", "a100"));
+  check_suite(r, "suite", r.str("suite", "nlp"));
+  r.number("intensity_g_per_kwh", 200.0, 1.0, 10000.0);
+  r.number("annual_decline", 0.03, 0.0, 0.999);
+  r.number("horizon_years", 15.0, 0.1, 200.0);
+  r.number("gpu_usage", 0.40, 0.01, 1.0);
+  r.number("pue", 1.2, 1.0, 3.0);
+}
+
+void normalize_sched(ParamReader& r) {
+  // regions[0] is the home site; the engine adds the two cleanest others
+  // as remote-dispatch options, mirroring `hpcarbon run`.
+  const auto regions = r.string_array(
+      "regions", {"ERCOT", "ESO", "CISO"}, 1, grid::all_regions().size());
+  std::set<std::string> seen;
+  for (const auto& code : regions) {
+    check_region(r, "regions", code);
+    if (!seen.insert(code).second) {
+      r.fail("regions", "lists region '" + code + "' twice");
+    }
+  }
+  const std::string policy = r.required_str("policy");
+  const auto desc = sched::find_policy(policy);
+  if (!desc) {
+    std::string known;
+    for (const auto& d : sched::registered_policies()) {
+      known += (known.empty() ? "" : ", ") + d.short_name;
+    }
+    r.fail("policy", "names no registered policy (known: " + known + ")");
+  }
+  // Short names resolve to the canonical name before hashing, so
+  // {"policy":"greedy"} and {"policy":"greedy-lowest-ci"} share a cache
+  // entry.
+  r.rewrite("policy", desc->name);
+  r.number("days", 28.0, 0.5, 366.0);
+  r.number("rate", 2.5, 0.01, 1000.0);
+  r.integer("capacity", 16, 1, 4096);
+  r.integer("start_month", 5, 0, 11);
+  r.integer("seed", 2024, 0, static_cast<long>(kMaxExactInt));
+}
+
+void normalize_trace(ParamReader& r) {
+  check_region(r, "region", r.required_str("region"));
+  r.optional_str("trace_csv");
+  const bool has_start = r.has("window_start_hour");
+  const bool has_len = r.has("window_hours");
+  if (has_start != has_len) {
+    r.fail(has_start ? "window_hours" : "window_start_hour",
+           "window queries need both window_start_hour and window_hours");
+  }
+  if (has_start) {
+    r.number("window_start_hour", 0.0, 0.0, kHoursPerYear);
+    r.number("window_hours", 24.0, 1e-6, kHoursPerYear);
+  }
+  // A windowless query carries no window fields in its canonical form, so
+  // it shares a cache entry with any other spelling of "whole year".
+}
+
+}  // namespace
+
+std::vector<std::string> query_families() {
+  return {"embodied", "lifetime", "breakeven", "sched", "trace"};
+}
+
+std::vector<std::string> part_slugs() {
+  std::vector<std::string> out;
+  for (const auto& [slug, id] : slug_table()) out.push_back(slug);
+  return out;
+}
+
+embodied::PartId part_from_slug(const std::string& slug) {
+  for (const auto& [s, id] : slug_table()) {
+    if (slug == s) return id;
+  }
+  throw Error("unknown catalog part slug '" + slug + "'");
+}
+
+Query parse_query(const json::Value& doc) {
+  if (!doc.is_object()) throw Error("request must be a JSON object");
+  for (const auto& [k, v] : doc.members()) {
+    if (k != "op" && k != "params" && k != "id") {
+      throw Error("request has unknown top-level field '" + k + "'");
+    }
+  }
+  const json::Value* op_field = doc.find("op");
+  if (op_field == nullptr || !op_field->is_string()) {
+    throw Error("request needs a string 'op' field");
+  }
+  Query q;
+  q.op = op_field->as_string();
+
+  if (const json::Value* id = doc.find("id")) {
+    if (!id->is_string()) throw Error("request 'id' must be a string");
+    q.id = id->as_string();
+  }
+
+  const json::Value* params = doc.find("params");
+  if (params != nullptr && !params->is_object()) {
+    throw Error("request 'params' must be an object");
+  }
+
+  ParamReader reader(params, q.op);
+  if (q.op == "embodied") normalize_embodied(reader);
+  else if (q.op == "lifetime") normalize_lifetime(reader);
+  else if (q.op == "breakeven") normalize_breakeven(reader);
+  else if (q.op == "sched") normalize_sched(reader);
+  else if (q.op == "trace") normalize_trace(reader);
+  else {
+    std::string known;
+    for (const auto& f : query_families()) {
+      known += (known.empty() ? "" : ", ") + f;
+    }
+    throw Error("unknown op '" + q.op + "' (known: " + known + ")");
+  }
+  reader.finish();
+  q.params = reader.take();
+
+  json::Value canonical = json::Value::object();
+  canonical.set("op", json::Value::string(q.op));
+  canonical.set("params", q.params);
+  q.canonical = canonical.dump(/*sort_keys=*/true);
+  q.key = json::fnv1a64(q.canonical);
+  return q;
+}
+
+Query parse_query_line(const std::string& line) {
+  return parse_query(json::Value::parse(line));
+}
+
+}  // namespace hpcarbon::serve

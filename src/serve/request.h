@@ -1,0 +1,64 @@
+// Typed carbon queries: the request half of the serve layer.
+//
+// A request is one JSON document: {"op": <family>, "params": {...},
+// "id": <optional echo tag>}. Five scenario families cover the questions
+// the modeling stack answers (each maps onto the same library calls the
+// `run`/`sweep`/`trace` CLI paths make, so service responses agree with
+// the offline tools):
+//
+//   embodied   — Eq. 2-5 breakdown for one catalog part
+//   lifetime   — node lifetime footprint priced on a region CI trace,
+//                optionally with Monte-Carlo quantiles (mc::substream)
+//   breakeven  — upgrade break-even under a decarbonizing grid
+//   sched      — scheduler-policy carbon savings vs the FCFS baseline
+//   trace      — CI-trace statistics, plus O(1) window-mean queries
+//
+// parse_query validates strictly (unknown fields, bad types, out-of-range
+// values, and unknown enum names are errors, not defaults) and normalizes:
+// every optional parameter is filled with its default and names are
+// resolved to canonical form (e.g. policy short names). The *canonical
+// key* is the normalized document dumped with sorted object keys and
+// hashed with FNV-1a/64 — semantically identical requests (reordered
+// fields, explicit defaults, short vs canonical policy names) collide on
+// purpose, which is what makes the result cache (serve/cache.h) effective.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+#include "embodied/catalog.h"
+
+namespace hpcarbon::serve {
+
+struct Query {
+  /// Family name ("embodied", "lifetime", "breakeven", "sched", "trace").
+  std::string op;
+  /// Normalized parameters: defaults filled, names canonical, validated.
+  json::Value params;
+  /// Client echo tag (response correlation); excluded from the canonical
+  /// key — two requests differing only in id are the same question.
+  std::string id;
+  /// {"op":...,"params":{...}} with sorted keys: the cache identity.
+  std::string canonical;
+  /// FNV-1a/64 of `canonical`.
+  std::uint64_t key = 0;
+};
+
+/// The five family names, in documentation order.
+std::vector<std::string> query_families();
+
+/// Catalog part slugs accepted by the embodied family, in Table 1/5 order
+/// (e.g. "a100-pcie-40"). One per embodied::PartId.
+std::vector<std::string> part_slugs();
+/// Slug -> catalog id; throws hpcarbon::Error for unknown slugs.
+embodied::PartId part_from_slug(const std::string& slug);
+
+/// Parse + validate one request document. Throws hpcarbon::Error with a
+/// message naming the op and parameter on any violation.
+Query parse_query(const json::Value& doc);
+/// json::Value::parse + parse_query.
+Query parse_query_line(const std::string& line);
+
+}  // namespace hpcarbon::serve

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
 #include <string>
-
 #include <utility>
+#include <vector>
 
+#include "cli/dispatch.h"
 #include "cli/registry.h"
 #include "cli/scenario_runner.h"
 #include "cli/sweep.h"
@@ -215,10 +217,15 @@ TEST(ScenarioRunner, FiveMinuteTraceOverrideDrivesScenarios) {
   ASSERT_EQ(table.rows.size(), report.rows.size() + 1);
   EXPECT_EQ(table.rows[1][0], "ESO");
 
-  // Overrides for unselected regions are typos, not no-ops.
+  // Overrides for unselected regions are typos, not no-ops — and so are
+  // duplicate overrides for one region (one file would silently shadow
+  // the other; `run` and `sweep` must agree instead of diverging).
   ScenarioOptions bad = opts;
   bad.trace_csv = {{"ERCOT", fixture_path()}};
   EXPECT_THROW(run_scenarios(bad), Error);
+  ScenarioOptions dup = opts;
+  dup.trace_csv = {{"ESO", fixture_path()}, {"ESO", "/tmp/other.csv"}};
+  EXPECT_THROW(run_scenarios(dup), Error);
 }
 
 TEST(Sweep, TraceOverrideReachesLifetimeSection) {
@@ -235,6 +242,59 @@ TEST(Sweep, TraceOverrideReachesLifetimeSection) {
   SweepOptions bad = opts;
   bad.trace_csv = {{"KN", fixture_path()}};
   EXPECT_THROW(run_sweep(bad), Error);
+}
+
+// Exit-code contract of the driver: bare/unknown invocations print usage
+// to stderr and fail; `help` prints to stdout and succeeds.
+struct DispatchResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+DispatchResult run_dispatch(std::vector<std::string> args) {
+  std::vector<std::string> argv_storage = {"hpcarbon"};
+  argv_storage.insert(argv_storage.end(), args.begin(), args.end());
+  std::vector<char*> argv;
+  for (auto& a : argv_storage) argv.push_back(a.data());
+  std::ostringstream out, err;
+  DispatchResult r;
+  r.code = dispatch(static_cast<int>(argv.size()), argv.data(), out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+TEST(Dispatch, NoArgsPrintsUsageToStderrAndFails) {
+  const DispatchResult r = run_dispatch({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage: hpcarbon"), std::string::npos);
+  EXPECT_TRUE(r.out.empty());
+}
+
+TEST(Dispatch, UnknownCommandPrintsUsageToStderrAndFails) {
+  const DispatchResult r = run_dispatch({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command 'frobnicate'"), std::string::npos);
+  EXPECT_NE(r.err.find("usage: hpcarbon"), std::string::npos);
+  EXPECT_TRUE(r.out.empty());
+}
+
+TEST(Dispatch, HelpPrintsUsageToStdoutAndSucceeds) {
+  for (const char* spelling : {"help", "--help", "-h"}) {
+    const DispatchResult r = run_dispatch({spelling});
+    EXPECT_EQ(r.code, 0) << spelling;
+    EXPECT_NE(r.out.find("usage: hpcarbon"), std::string::npos) << spelling;
+    EXPECT_TRUE(r.err.empty()) << spelling;
+  }
+}
+
+TEST(Dispatch, MissingToolNameFails) {
+  for (const char* cmd : {"bench", "example"}) {
+    const DispatchResult r = run_dispatch({cmd});
+    EXPECT_EQ(r.code, 2) << cmd;
+    EXPECT_NE(r.err.find("missing tool name"), std::string::npos) << cmd;
+  }
 }
 
 TEST(Sweep, DeterministicForFixedSeed) {

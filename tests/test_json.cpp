@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "core/error.h"
+#include "core/json.h"
+
+namespace hpcarbon::json {
+namespace {
+
+TEST(JsonParse, Primitives) {
+  EXPECT_TRUE(Value::parse("null").is_null());
+  EXPECT_TRUE(Value::parse("true").as_bool());
+  EXPECT_FALSE(Value::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(Value::parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Value::parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(Value::parse("1.25e2").as_number(), 125.0);
+  EXPECT_DOUBLE_EQ(Value::parse("2E-1").as_number(), 0.2);
+  EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+  EXPECT_EQ(Value::parse("  \t\n 7 \r ").as_number(), 7.0);
+}
+
+TEST(JsonParse, NestedContainers) {
+  const Value v = Value::parse(
+      R"({"a": [1, 2, {"b": true}], "c": {"d": null}, "e": "x"})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.size(), 3u);
+  const Value* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_number(), 2.0);
+  EXPECT_TRUE(a->items()[2].find("b")->as_bool());
+  EXPECT_TRUE(v.find("c")->find("d")->is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(Value::parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(Value::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Value::parse(R"("\u00e9")").as_string(), "\xc3\xa9");   // é
+  EXPECT_EQ(Value::parse(R"("\u20ac")").as_string(), "\xe2\x82\xac");  // €
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Value::parse(R"("\ud83d\ude00")").as_string(),
+            "\xf0\x9f\x98\x80");
+  EXPECT_THROW(Value::parse(R"("\ud83d")"), Error);   // unpaired high
+  EXPECT_THROW(Value::parse(R"("\ude00")"), Error);   // unpaired low
+  EXPECT_THROW(Value::parse(R"("\q")"), Error);       // unknown escape
+  EXPECT_THROW(Value::parse("\"a\nb\""), Error);      // raw control char
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(Value::parse(""), Error);
+  EXPECT_THROW(Value::parse("nul"), Error);
+  EXPECT_THROW(Value::parse("truefalse"), Error);  // trailing garbage
+  EXPECT_THROW(Value::parse("1 2"), Error);
+  EXPECT_THROW(Value::parse("[1,]"), Error);
+  EXPECT_THROW(Value::parse("[1 2]"), Error);
+  EXPECT_THROW(Value::parse("{\"a\":}"), Error);
+  EXPECT_THROW(Value::parse("{\"a\" 1}"), Error);
+  EXPECT_THROW(Value::parse("{a: 1}"), Error);     // unquoted key
+  EXPECT_THROW(Value::parse("\"open"), Error);
+  EXPECT_THROW(Value::parse("1."), Error);
+  EXPECT_THROW(Value::parse("1e"), Error);
+  EXPECT_THROW(Value::parse("-"), Error);
+  EXPECT_THROW(Value::parse("+1"), Error);
+  EXPECT_THROW(Value::parse("1e999"), Error);      // overflows double
+  // RFC 8259: no leading zeros (a canonical key must not have two
+  // spellings of one number).
+  EXPECT_THROW(Value::parse("0123"), Error);
+  EXPECT_THROW(Value::parse("-012"), Error);
+  EXPECT_DOUBLE_EQ(Value::parse("0.5").as_number(), 0.5);   // still fine
+  EXPECT_DOUBLE_EQ(Value::parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(Value::parse("0").as_number(), 0.0);
+}
+
+TEST(JsonParse, RejectsDuplicateKeysAndDeepNesting) {
+  EXPECT_THROW(Value::parse(R"({"a":1,"a":2})"), Error);
+  std::string deep;
+  for (int i = 0; i < 70; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 70; ++i) deep += "]";
+  EXPECT_THROW(Value::parse(deep), Error);
+}
+
+TEST(JsonDump, CompactAndRoundTrips) {
+  Value obj = Value::object();
+  obj.set("b", Value::number(1.5));
+  obj.set("a", Value::array({Value::boolean(true), Value::null(),
+                             Value::string("x\"y")}));
+  EXPECT_EQ(obj.dump(), R"({"b":1.5,"a":[true,null,"x\"y"]})");
+  // Round trip: parse(dump(v)) dumps identically.
+  EXPECT_EQ(Value::parse(obj.dump()).dump(), obj.dump());
+}
+
+TEST(JsonDump, SortKeysOrdersEveryObject) {
+  const Value v = Value::parse(R"({"b":{"d":1,"c":2},"a":3})");
+  EXPECT_EQ(v.dump(/*sort_keys=*/true), R"({"a":3,"b":{"c":2,"d":1}})");
+  // Unsorted dump preserves insertion order.
+  EXPECT_EQ(v.dump(), R"({"b":{"d":1,"c":2},"a":3})");
+}
+
+TEST(JsonDump, NumberFormatIsShortestRoundTrip) {
+  EXPECT_EQ(dump_number(5.0), "5");
+  EXPECT_EQ(dump_number(0.1), "0.1");
+  EXPECT_EQ(dump_number(-2.5), "-2.5");
+  EXPECT_EQ(dump_number(1e30), "1e+30");
+  EXPECT_EQ(dump_number(9007199254740992.0), "9007199254740992");
+  // Shortest-round-trip is bijective: parse(dump(x)) == x bit-for-bit.
+  for (const double x : {0.30000000000000004, 1.0 / 3.0, 6.02214076e23}) {
+    EXPECT_EQ(Value::parse(dump_number(x)).as_number(), x);
+  }
+  EXPECT_THROW(Value::number(std::numeric_limits<double>::infinity()), Error);
+  EXPECT_THROW(Value::number(std::nan("")), Error);
+}
+
+TEST(JsonValue, TypedAccessErrors) {
+  const Value n = Value::number(1);
+  EXPECT_THROW(n.as_string(), Error);
+  EXPECT_THROW(n.as_bool(), Error);
+  EXPECT_THROW(n.items(), Error);
+  EXPECT_THROW(n.members(), Error);
+  EXPECT_THROW(n.size(), Error);
+  Value arr = Value::array();
+  EXPECT_THROW(arr.set("k", Value::null()), Error);
+  Value obj = Value::object();
+  EXPECT_THROW(obj.push_back(Value::null()), Error);
+}
+
+TEST(JsonValue, SetReplacesInPlace) {
+  Value obj = Value::object();
+  obj.set("a", Value::number(1)).set("b", Value::number(2));
+  obj.set("a", Value::number(3));
+  EXPECT_EQ(obj.dump(), R"({"a":3,"b":2})");  // position preserved
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(JsonQuote, EscapesControlCharacters) {
+  EXPECT_EQ(quote("plain"), "\"plain\"");
+  EXPECT_EQ(quote("a\"b\\c"), R"("a\"b\\c")");
+  EXPECT_EQ(quote(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(quote("\n\t\r\b\f"), R"("\n\t\r\b\f")");
+}
+
+TEST(Fnv1a64, KnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  EXPECT_NE(fnv1a64("{\"a\":1}"), fnv1a64("{\"a\":2}"));
+}
+
+}  // namespace
+}  // namespace hpcarbon::json

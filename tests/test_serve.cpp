@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cli/scenario_runner.h"
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "core/time.h"
+#include "embodied/catalog.h"
+#include "grid/analysis.h"
+#include "hw/node.h"
+#include "lifecycle/footprint.h"
+#include "lifecycle/scenario.h"
+#include "lifecycle/upgrade.h"
+#include "op/pue.h"
+#include "serve/engine.h"
+#include "serve/request.h"
+#include "workload/suite.h"
+
+namespace hpcarbon::serve {
+namespace {
+
+Query parse(const std::string& line) { return parse_query_line(line); }
+
+TEST(Request, FamiliesAndPartSlugs) {
+  const auto families = query_families();
+  ASSERT_EQ(families.size(), 5u);
+  EXPECT_EQ(families[0], "embodied");
+  EXPECT_EQ(families[4], "trace");
+  // One slug per catalog part, each resolving back to a PartId.
+  const auto slugs = part_slugs();
+  EXPECT_EQ(slugs.size(), 13u);
+  for (const auto& s : slugs) EXPECT_NO_THROW(part_from_slug(s));
+  EXPECT_EQ(part_from_slug("v100-sxm2-32"), embodied::PartId::kV100Sxm2_32);
+  EXPECT_THROW(part_from_slug("rtx-5090"), Error);
+}
+
+TEST(Request, CanonicalKeyIsFieldOrderInsensitive) {
+  const Query a = parse(
+      R"({"id":"x","op":"sched","params":{"policy":"greedy","days":7,"rate":1}})");
+  const Query b = parse(
+      R"({"params":{"rate":1,"policy":"greedy","days":7},"op":"sched","id":"y"})");
+  EXPECT_EQ(a.canonical, b.canonical);
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_NE(a.id, b.id);  // ids echo but do not join the key
+
+  const Query c = parse(
+      R"({"op":"sched","params":{"policy":"greedy","days":8,"rate":1}})");
+  EXPECT_NE(a.key, c.key);
+}
+
+TEST(Request, ExplicitDefaultsCollideWithOmittedOnes) {
+  const Query implicit = parse(R"({"op":"lifetime","params":{"node":"v100"}})");
+  const Query explicit_defaults = parse(
+      R"({"op":"lifetime","params":{"node":"v100","suite":"nlp","years":5,)"
+      R"("gpu_usage":0.4,"region":"CISO","start_month":5,"pue":1.2,)"
+      R"("samples":0,"seed":42,"grid_band":0.1}})");
+  EXPECT_EQ(implicit.canonical, explicit_defaults.canonical);
+  EXPECT_EQ(implicit.key, explicit_defaults.key);
+}
+
+TEST(Request, PolicyShortNamesCanonicalize) {
+  const Query short_name =
+      parse(R"({"op":"sched","params":{"policy":"greedy"}})");
+  const Query canonical =
+      parse(R"({"op":"sched","params":{"policy":"greedy-lowest-ci"}})");
+  EXPECT_EQ(short_name.key, canonical.key);
+  EXPECT_NE(short_name.canonical.find("greedy-lowest-ci"), std::string::npos);
+}
+
+TEST(Request, StrictValidation) {
+  // Unknown op / fields / params.
+  EXPECT_THROW(parse(R"({"op":"astrology"})"), Error);
+  EXPECT_THROW(parse(R"({"op":"embodied","surprise":1})"), Error);
+  EXPECT_THROW(parse(R"({"op":"embodied","params":{"part":"mi250x","x":1}})"),
+               Error);
+  // Missing / mistyped requireds.
+  EXPECT_THROW(parse(R"({"op":"embodied"})"), Error);
+  EXPECT_THROW(parse(R"({"op":"embodied","params":{"part":7}})"), Error);
+  EXPECT_THROW(parse(R"({"op":"lifetime"})"), Error);
+  EXPECT_THROW(parse(R"({"op":"sched","params":{}})"), Error);  // no policy
+  EXPECT_THROW(parse(R"({"op":"trace"})"), Error);  // no region
+  // Bad enum values.
+  EXPECT_THROW(parse(R"({"op":"embodied","params":{"part":"gtx-480"}})"),
+               Error);
+  EXPECT_THROW(parse(R"({"op":"lifetime","params":{"node":"h100"}})"), Error);
+  EXPECT_THROW(
+      parse(R"({"op":"lifetime","params":{"node":"v100","suite":"hpl"}})"),
+      Error);
+  EXPECT_THROW(
+      parse(R"({"op":"trace","params":{"region":"ATLANTIS"}})"), Error);
+  EXPECT_THROW(
+      parse(R"({"op":"sched","params":{"policy":"warp-drive"}})"), Error);
+  // Ranges and integrality.
+  EXPECT_THROW(
+      parse(R"({"op":"lifetime","params":{"node":"v100","years":-1}})"),
+      Error);
+  EXPECT_THROW(
+      parse(R"({"op":"lifetime","params":{"node":"v100","samples":2.5}})"),
+      Error);
+  EXPECT_THROW(
+      parse(
+          R"({"op":"sched","params":{"policy":"greedy","regions":["ESO","ESO"]}})"),
+      Error);
+  // Window halves must travel together.
+  EXPECT_THROW(
+      parse(R"({"op":"trace","params":{"region":"ESO","window_hours":24}})"),
+      Error);
+  // Top-level shape.
+  EXPECT_THROW(parse(R"([1,2,3])"), Error);
+  EXPECT_THROW(parse(R"({"op":"embodied","id":7,"params":{"part":"mi250x"}})"),
+               Error);
+}
+
+// --- Service answers vs direct library calls --------------------------------
+
+TEST(Evaluate, EmbodiedMatchesCatalog) {
+  TraceStore store;
+  const Query q = parse(R"({"op":"embodied","params":{"part":"mi250x"}})");
+  const json::Value r = evaluate(q, store);
+  const auto expected = embodied::embodied_of(embodied::PartId::kMi250x);
+  EXPECT_DOUBLE_EQ(r.find("manufacturing_g")->as_number(),
+                   expected.manufacturing.to_grams());
+  EXPECT_DOUBLE_EQ(r.find("packaging_g")->as_number(),
+                   expected.packaging.to_grams());
+  EXPECT_DOUBLE_EQ(r.find("total_g")->as_number(),
+                   expected.total().to_grams());
+  EXPECT_EQ(r.find("display_name")->as_string(),
+            embodied::display_name(embodied::PartId::kMi250x));
+}
+
+TEST(Evaluate, LifetimeMatchesFootprint) {
+  TraceStore store;
+  const Query q = parse(
+      R"({"op":"lifetime","params":{"node":"a100","suite":"vision",)"
+      R"("years":4,"region":"ESO"}})");
+  const json::Value r = evaluate(q, store);
+  const auto trace = store.preset("ESO");
+  const auto expected = lifecycle::node_lifetime_footprint(
+      hw::a100_node(), workload::Suite::kVision, 0.40, 4.0, *trace,
+      HourOfYear(month_start_hour(5)), op::PueModel(1.2));
+  EXPECT_DOUBLE_EQ(r.find("embodied_g")->as_number(),
+                   expected.embodied.to_grams());
+  EXPECT_DOUBLE_EQ(r.find("operational_g")->as_number(),
+                   expected.operational.to_grams());
+  EXPECT_DOUBLE_EQ(r.find("total_g")->as_number(),
+                   expected.total().to_grams());
+  EXPECT_EQ(r.find("total_p50_g"), nullptr);  // no samples requested
+}
+
+TEST(Evaluate, LifetimeQuantilesAreDeterministic) {
+  TraceStore store;
+  const Query q = parse(
+      R"({"op":"lifetime","params":{"node":"v100","samples":128,"seed":7}})");
+  const json::Value a = evaluate(q, store);
+  const json::Value b = evaluate(q, store);
+  EXPECT_EQ(a.dump(true), b.dump(true));
+  EXPECT_LE(a.find("total_p05_g")->as_number(),
+            a.find("total_p50_g")->as_number());
+  EXPECT_LE(a.find("total_p50_g")->as_number(),
+            a.find("total_p95_g")->as_number());
+  // The point estimate rides along unchanged.
+  const Query point = parse(R"({"op":"lifetime","params":{"node":"v100"}})");
+  EXPECT_DOUBLE_EQ(evaluate(point, store).find("total_g")->as_number(),
+                   a.find("total_g")->as_number());
+}
+
+TEST(Evaluate, BreakevenMatchesScenarioLayer) {
+  TraceStore store;
+  const Query q = parse(
+      R"({"op":"breakeven","params":{"annual_decline":0.03,"horizon_years":15}})");
+  const json::Value r = evaluate(q, store);
+
+  lifecycle::UpgradeScenario s;
+  s.old_node = hw::v100_node();
+  s.new_node = hw::a100_node();
+  s.suite = workload::Suite::kNlp;
+  s.intensity = CarbonIntensity::grams_per_kwh(200);
+  s.usage = lifecycle::UsageProfile::medium();
+  s.pue = op::PueModel(1.2);
+  const lifecycle::GridTrajectory traj(s.intensity, 0.03);
+  const auto be = lifecycle::breakeven_years(s, traj, 15.0);
+  ASSERT_TRUE(be.has_value());
+  EXPECT_DOUBLE_EQ(r.find("breakeven_years")->as_number(), *be);
+  EXPECT_TRUE(r.find("pays_back")->as_bool());
+  EXPECT_DOUBLE_EQ(r.find("savings_pct_at_horizon")->as_number(),
+                   lifecycle::savings_percent(s, traj, 15.0));
+  EXPECT_DOUBLE_EQ(r.find("asymptotic_savings_pct")->as_number(),
+                   lifecycle::asymptotic_savings_percent(s));
+}
+
+// Acceptance: the sched family reproduces `hpcarbon run`'s numbers for the
+// same scenario (same site trio, workload seed, and baseline).
+TEST(Evaluate, SchedMatchesRunScenarios) {
+  TraceStore store;
+  const Query q = parse(
+      R"({"op":"sched","params":{"regions":["ERCOT","ESO","CISO"],)"
+      R"("policy":"greedy","days":7,"rate":1}})");
+  const json::Value r = evaluate(q, store);
+
+  cli::ScenarioOptions opts;
+  opts.regions = {"ERCOT", "ESO", "CISO"};
+  opts.policies = {"greedy"};
+  opts.horizon_days = 7;
+  opts.arrival_rate_per_hour = 1.0;
+  const cli::ScenarioReport report = cli::run_scenarios(opts);
+  // Rows are region-major with the fcfs-local baseline first: ERCOT's
+  // cells are rows 0 (baseline) and 1 (greedy).
+  ASSERT_GE(report.rows.size(), 2u);
+  ASSERT_EQ(report.rows[0].region, "ERCOT");
+  ASSERT_EQ(report.rows[0].policy, "fcfs-local");
+  ASSERT_EQ(report.rows[1].policy, "greedy-lowest-ci");
+  EXPECT_DOUBLE_EQ(r.find("baseline_carbon_kg")->as_number(),
+                   report.rows[0].carbon_kg);
+  EXPECT_DOUBLE_EQ(r.find("carbon_kg")->as_number(), report.rows[1].carbon_kg);
+  EXPECT_DOUBLE_EQ(r.find("savings_pct")->as_number(),
+                   report.rows[1].savings_vs_fcfs_pct);
+  EXPECT_EQ(static_cast<int>(r.find("jobs_completed")->as_number()),
+            report.rows[1].jobs_completed);
+  EXPECT_EQ(static_cast<int>(r.find("remote_dispatches")->as_number()),
+            report.rows[1].remote_dispatches);
+}
+
+TEST(Evaluate, TraceStatsMatchSummaryAndPrefixSums) {
+  TraceStore store;
+  const Query q = parse(
+      R"({"op":"trace","params":{"region":"CISO",)"
+      R"("window_start_hour":1000,"window_hours":48}})");
+  const json::Value r = evaluate(q, store);
+  const auto trace = store.preset("CISO");
+  const grid::RegionSummary s = grid::summarize(*trace);
+  EXPECT_DOUBLE_EQ(r.find("median")->as_number(), s.box.median);
+  EXPECT_DOUBLE_EQ(r.find("mean")->as_number(), s.box.mean);
+  EXPECT_DOUBLE_EQ(r.find("cov_pct")->as_number(), s.cov_percent);
+  EXPECT_DOUBLE_EQ(r.find("p25")->as_number(), s.box.q1);
+  EXPECT_DOUBLE_EQ(r.find("p75")->as_number(), s.box.q3);
+  EXPECT_EQ(static_cast<std::size_t>(r.find("samples")->as_number()),
+            trace->size());
+  EXPECT_DOUBLE_EQ(r.find("window_mean")->as_number(),
+                   trace->interval_sum(1000, 48) / 48.0);
+}
+
+// --- Engine: front-line behaviour -------------------------------------------
+
+std::vector<std::string> family_lines() {
+  return {
+      R"({"id":"q1","op":"embodied","params":{"part":"a100-pcie-40"}})",
+      R"({"id":"q2","op":"lifetime","params":{"node":"v100","years":3}})",
+      R"({"id":"q3","op":"breakeven","params":{}})",
+      R"({"id":"q4","op":"sched","params":{"policy":"greedy","days":7,"rate":1}})",
+      R"({"id":"q5","op":"trace","params":{"region":"ESO"}})",
+  };
+}
+
+TEST(Engine, AnswersAllFiveFamilies) {
+  Engine engine;
+  for (const auto& line : family_lines()) {
+    const std::string response = engine.handle_line(line);
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
+    EXPECT_NE(response.find("\"result\":{"), std::string::npos) << response;
+  }
+  EXPECT_EQ(engine.cache_stats().inserts, 5u);
+}
+
+TEST(Engine, ErrorResponsesEchoTheIdAndAreNotCached) {
+  Engine engine;
+  const std::string bad = engine.handle_line(
+      R"({"id":"oops","op":"embodied","params":{"part":"gtx-480"}})");
+  EXPECT_NE(bad.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(bad.find("\"id\":\"oops\""), std::string::npos);
+  EXPECT_NE(bad.find("\"error\":"), std::string::npos);
+  const std::string garbage = engine.handle_line("{not json");
+  EXPECT_NE(garbage.find("\"ok\":false"), std::string::npos);
+  EXPECT_EQ(engine.cache_stats().inserts, 0u);
+}
+
+TEST(Engine, CacheHitsReturnIdenticalBytes) {
+  Engine engine;
+  const std::string first = engine.handle_line(family_lines()[0]);
+  const std::string second = engine.handle_line(family_lines()[0]);
+  EXPECT_EQ(first, second);
+  // A field-reordered spelling with a different id differs only in the
+  // echoed id.
+  const std::string reordered = engine.handle_line(
+      R"({"params":{"part":"a100-pcie-40"},"op":"embodied","id":"q1"})");
+  EXPECT_EQ(reordered, first);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(Engine, BatchMatchesSequentialByteForByte) {
+  std::vector<std::string> lines = family_lines();
+  lines.push_back(R"({"id":"dup","op":"embodied","params":{"part":"a100-pcie-40"}})");
+  lines.push_back(R"({"id":"bad","op":"embodied","params":{"parts":"x"}})");
+
+  Engine batch_engine;
+  const auto batch = batch_engine.handle_batch(lines);
+
+  Engine seq_engine;
+  std::vector<std::string> seq;
+  for (const auto& line : lines) seq.push_back(seq_engine.handle_line(line));
+
+  ASSERT_EQ(batch.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(batch[i], seq[i]) << "line " << i;
+  }
+  // Both front-ends record the duplicate as a cache hit and nothing for
+  // the invalid line.
+  const auto bs = batch_engine.cache_stats();
+  const auto ss = seq_engine.cache_stats();
+  EXPECT_EQ(bs.hits, 1u);
+  EXPECT_EQ(ss.hits, 1u);
+  EXPECT_EQ(bs.misses, ss.misses);
+  EXPECT_EQ(bs.inserts, 5u);
+}
+
+// Acceptance: the batch planner is bit-identical for any worker count.
+TEST(Engine, BatchBitIdenticalAcrossThreadCounts) {
+  std::vector<std::string> lines = family_lines();
+  lines.push_back(R"({"op":"trace","params":{"region":"KN"}})");
+  lines.push_back(R"({"op":"lifetime","params":{"node":"a100","samples":64}})");
+
+  ThreadPool one(1);
+  ThreadPool seven(7);
+  ServeOptions opts1;
+  opts1.pool = &one;
+  ServeOptions opts7;
+  opts7.pool = &seven;
+  Engine e1(opts1);
+  Engine e7(opts7);
+  const auto r1 = e1.handle_batch(lines);
+  const auto r7 = e7.handle_batch(lines);
+  ASSERT_EQ(r1.size(), r7.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) EXPECT_EQ(r1[i], r7[i]);
+}
+
+TEST(Engine, BatchDedupsInFlightDuplicates) {
+  // Three spellings of one question + one distinct query.
+  const std::vector<std::string> lines = {
+      R"({"op":"sched","params":{"policy":"greedy","days":7,"rate":1}})",
+      R"({"id":"b","op":"sched","params":{"rate":1,"days":7,"policy":"greedy"}})",
+      R"({"op":"sched","params":{"policy":"greedy-lowest-ci","days":7,"rate":1}})",
+      R"({"op":"embodied","params":{"part":"mi250x"}})",
+  };
+  Engine engine;
+  const auto responses = engine.handle_batch(lines);
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.inserts, 2u);   // one leader per distinct key
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 2u);      // the two followers
+  // All three spellings answered identically (ids aside).
+  EXPECT_EQ(responses[0], responses[2]);
+  EXPECT_NE(responses[1].find("\"id\":\"b\""), std::string::npos);
+}
+
+TEST(Engine, StatsControlRequestReportsCounters) {
+  Engine engine;
+  engine.handle_line(family_lines()[0]);
+  engine.handle_line(family_lines()[0]);
+  const std::string stats = engine.handle_line(R"({"op":"stats","id":"s"})");
+  EXPECT_NE(stats.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(stats.find("\"op\":\"stats\""), std::string::npos);
+  EXPECT_NE(stats.find("\"hits\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"misses\":1"), std::string::npos);
+  EXPECT_NE(stats.find("\"id\":\"s\""), std::string::npos);
+  EXPECT_NE(stats.find("\"shards\":8"), std::string::npos);
+}
+
+TEST(Engine, StatsControlRequestIsValidatedStrictly) {
+  Engine engine;
+  // Unknown fields and a non-string id are errors, exactly as on the
+  // query families — no silent acceptance on the control path.
+  const std::string extra =
+      engine.handle_line(R"({"op":"stats","params":{"x":1}})");
+  EXPECT_NE(extra.find("\"ok\":false"), std::string::npos) << extra;
+  EXPECT_NE(extra.find("unknown top-level field"), std::string::npos);
+  const std::string bad_id = engine.handle_line(R"({"op":"stats","id":7})");
+  EXPECT_NE(bad_id.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(bad_id.find("'id' must be a string"), std::string::npos);
+}
+
+// A stats line inside a batch is a sequence point: the whole payload,
+// stats included, answers byte-identically to a sequential replay.
+TEST(Engine, StatsInsideBatchMatchesSequentialReplay) {
+  const std::vector<std::string> lines = {
+      R"({"op":"embodied","params":{"part":"mi250x"}})",
+      R"({"op":"stats","id":"mid"})",
+      R"({"op":"embodied","params":{"part":"mi250x"}})",
+      R"({"op":"trace","params":{"region":"ESO"}})",
+      R"({"op":"stats","id":"end"})",
+  };
+  // Stats lines report TraceStore counters too, so each engine gets its
+  // own store: the comparison must not see the other engine's lookups
+  // through the process-global one.
+  TraceStore batch_traces, seq_traces;
+  ServeOptions batch_opts;
+  batch_opts.traces = &batch_traces;
+  Engine batch_engine(batch_opts);
+  const auto batch = batch_engine.handle_batch(lines);
+  ServeOptions seq_opts;
+  seq_opts.traces = &seq_traces;
+  Engine seq_engine(seq_opts);
+  std::vector<std::string> seq;
+  for (const auto& line : lines) seq.push_back(seq_engine.handle_line(line));
+  ASSERT_EQ(batch.size(), seq.size());
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(batch[i], seq[i]) << "line " << i;
+  }
+  // The mid-stream snapshot reflects only the first query...
+  EXPECT_NE(batch[1].find("\"inserts\":1"), std::string::npos) << batch[1];
+  EXPECT_NE(batch[1].find("\"hits\":0"), std::string::npos);
+  // ...and the final one sees the duplicate's hit and both inserts.
+  EXPECT_NE(batch[4].find("\"inserts\":2"), std::string::npos) << batch[4];
+  EXPECT_NE(batch[4].find("\"hits\":1"), std::string::npos);
+}
+
+TEST(Engine, EvictionKeepsAnsweringCorrectly) {
+  // A cache too small for even one response forces every request down the
+  // evaluate path; answers stay correct and byte-identical.
+  ServeOptions opts;
+  opts.cache_shards = 1;
+  opts.cache_bytes = 96;  // below any response's entry cost
+  Engine tiny(opts);
+  const std::string a = tiny.handle_line(family_lines()[0]);
+  const std::string b = tiny.handle_line(family_lines()[0]);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tiny.cache_stats().entries, 0u);
+  Engine normal;
+  EXPECT_EQ(normal.handle_line(family_lines()[0]), a);
+}
+
+}  // namespace
+}  // namespace hpcarbon::serve
