@@ -1,18 +1,30 @@
 #include "cli/registry.h"
 
 #include <algorithm>
+#include <deque>
 #include <tuple>
+
+#include "core/thread_annotations.h"
 
 namespace hpcarbon::cli {
 
 namespace {
 
+struct Registry {
+  AnnotatedMutex mu;
+  /// Deque, not vector: entries are append-or-replace only and a deque
+  /// never relocates survivors, so the pointers find_tool hands out stay
+  /// valid for the process lifetime; the lock serializes registration
+  /// against concurrent enumeration in a daemon.
+  std::deque<ToolEntry> entries HPCARBON_GUARDED_BY(mu);
+};
+
 // Function-local static: tool registrars run during static initialization
-// of other translation units, before any global vector here would be
-// guaranteed constructed.
-std::vector<ToolEntry>& registry() {
-  static std::vector<ToolEntry> entries;
-  return entries;
+// of other translation units, before any global here would be guaranteed
+// constructed.
+Registry& registry() {
+  static Registry r;
+  return r;
 }
 
 }  // namespace
@@ -28,18 +40,24 @@ const char* to_string(ToolKind kind) {
 }
 
 void register_tool(ToolEntry entry) {
-  auto& entries = registry();
-  for (auto& e : entries) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  for (auto& e : r.entries) {
     if (e.name == entry.name) {
       e = std::move(entry);
       return;
     }
   }
-  entries.push_back(std::move(entry));
+  r.entries.push_back(std::move(entry));
 }
 
 std::vector<ToolEntry> tools() {
-  std::vector<ToolEntry> sorted = registry();
+  Registry& r = registry();
+  std::vector<ToolEntry> sorted;
+  {
+    MutexLock lock(r.mu);
+    sorted.assign(r.entries.begin(), r.entries.end());
+  }
   std::sort(sorted.begin(), sorted.end(),
             [](const ToolEntry& a, const ToolEntry& b) {
               return std::tie(a.kind, a.name) < std::tie(b.kind, b.name);
@@ -48,7 +66,9 @@ std::vector<ToolEntry> tools() {
 }
 
 const ToolEntry* find_tool(const std::string& name) {
-  for (const auto& e : registry()) {
+  Registry& r = registry();
+  MutexLock lock(r.mu);
+  for (const auto& e : r.entries) {
     if (e.name == name) return &e;
   }
   return nullptr;

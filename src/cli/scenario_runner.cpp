@@ -1,7 +1,6 @@
 #include "cli/scenario_runner.h"
 
 #include <algorithm>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -9,6 +8,7 @@
 #include "core/csv.h"
 #include "core/error.h"
 #include "core/stats.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 #include "grid/analysis.h"
 #include "grid/import.h"
@@ -180,8 +180,8 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
   report.jobs = jobs.size();
   report.rows.resize(specs.size() * policies.size());
 
-  std::mutex mu;
-  std::set<std::thread::id> worker_ids;
+  AnnotatedMutex mu;
+  std::set<std::thread::id> worker_ids;  // guarded by mu (function-local)
 
   ThreadPool::global().parallel_for(
       0, report.rows.size(), [&](std::size_t cell) {
@@ -204,7 +204,7 @@ ScenarioReport run_scenarios(const ScenarioOptions& opts) {
         row.remote_dispatches = metrics.remote_dispatches;
         row.jobs_completed = metrics.jobs_completed;
 
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         worker_ids.insert(std::this_thread::get_id());
       });
 

@@ -1,0 +1,129 @@
+// Clang thread-safety annotations + an annotated mutex, shared by every
+// subsystem that owns concurrent state.
+//
+// The serving stack (serve::ResultCache shards, serve::TraceStore, the
+// ThreadPool queue, the policy/tool registries) keeps its invariants
+// behind mutexes; these macros let Clang *prove at compile time* that
+// every access to a guarded member happens with the right lock held
+// (`-Wthread-safety`, promoted to an error in all clang builds — see the
+// root CMakeLists). On compilers without the attributes (gcc, MSVC) the
+// macros expand to nothing and the wrappers degrade to a plain
+// `std::mutex` + `std::lock_guard` with zero overhead, so annotations are
+// free documentation everywhere and machine-checked where clang runs.
+//
+// Usage pattern (see serve/cache.h for a full example):
+//
+//   class Account {
+//     void withdraw(double g) HPCARBON_EXCLUDES(mu_) {
+//       MutexLock lock(mu_);
+//       balance_ -= g;               // OK: mu_ held
+//     }
+//    private:
+//     AnnotatedMutex mu_;
+//     double balance_ HPCARBON_GUARDED_BY(mu_) = 0;  // lock required
+//   };
+//
+// The macro set mirrors the modern "capability" spelling from the Clang
+// docs (and abseil/base/thread_annotations.h); only the subset this
+// codebase needs is defined.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define HPCARBON_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef HPCARBON_THREAD_ANNOTATION
+#define HPCARBON_THREAD_ANNOTATION(x)  // not clang: annotations vanish
+#endif
+
+/// Marks a class as a lockable capability ("mutex" names it in warnings).
+#define HPCARBON_CAPABILITY(x) HPCARBON_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define HPCARBON_SCOPED_CAPABILITY HPCARBON_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding the given mutex.
+#define HPCARBON_GUARDED_BY(x) HPCARBON_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* is protected by the given mutex.
+#define HPCARBON_PT_GUARDED_BY(x) HPCARBON_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the mutex(es) to be held on entry (and exit).
+#define HPCARBON_REQUIRES(...) \
+  HPCARBON_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the mutex(es) and holds them on return.
+#define HPCARBON_ACQUIRE(...) \
+  HPCARBON_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases mutex(es) the caller held on entry.
+#define HPCARBON_RELEASE(...) \
+  HPCARBON_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the mutex iff it returns the given value.
+#define HPCARBON_TRY_ACQUIRE(...) \
+  HPCARBON_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the mutex(es): the function acquires them itself
+/// (documents non-reentrancy; std::mutex self-lock is undefined behavior).
+#define HPCARBON_EXCLUDES(...) \
+  HPCARBON_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declared lock-order edges for multi-mutex code paths.
+#define HPCARBON_ACQUIRED_BEFORE(...) \
+  HPCARBON_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define HPCARBON_ACQUIRED_AFTER(...) \
+  HPCARBON_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Accessor returning a reference to the mutex guarding other state.
+#define HPCARBON_RETURN_CAPABILITY(x) \
+  HPCARBON_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the analysis skips this function entirely. Every use
+/// must carry a comment explaining why the proof cannot be expressed.
+#define HPCARBON_NO_THREAD_SAFETY_ANALYSIS \
+  HPCARBON_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace hpcarbon {
+
+/// `std::mutex` carrying the capability attribute so guarded members can
+/// name it. Satisfies BasicLockable/Lockable, so it also works as the
+/// lock of a `std::condition_variable_any` wait (the wait's internal
+/// unlock/relock happens inside the standard library, outside the
+/// analysis, which matches the semantics: the capability is held before
+/// and after the wait).
+class HPCARBON_CAPABILITY("mutex") AnnotatedMutex {
+ public:
+  AnnotatedMutex() = default;
+  AnnotatedMutex(const AnnotatedMutex&) = delete;
+  AnnotatedMutex& operator=(const AnnotatedMutex&) = delete;
+
+  void lock() HPCARBON_ACQUIRE() { mu_.lock(); }
+  void unlock() HPCARBON_RELEASE() { mu_.unlock(); }
+  bool try_lock() HPCARBON_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// `std::lock_guard` for AnnotatedMutex, visible to the analysis: the
+/// constructor acquires the capability for the enclosing scope, the
+/// destructor releases it.
+class HPCARBON_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(AnnotatedMutex& mu) HPCARBON_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~MutexLock() HPCARBON_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  AnnotatedMutex& mu_;
+};
+
+}  // namespace hpcarbon

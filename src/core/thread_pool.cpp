@@ -43,7 +43,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -55,8 +55,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit predicate loop (not the lambda overload): the analysis
+      // sees stop_/queue_ read with mu_ held; cv_.wait's internal
+      // unlock/relock of the same mutex preserves that on both sides.
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();

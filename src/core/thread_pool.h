@@ -12,10 +12,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace hpcarbon {
 
@@ -32,12 +33,12 @@ class ThreadPool {
 
   /// Enqueue a task; returns a future for its completion.
   template <class F>
-  std::future<void> submit(F&& fn) {
+  std::future<void> submit(F&& fn) HPCARBON_EXCLUDES(mu_) {
     auto task = std::make_shared<std::packaged_task<void()>>(
         std::forward<F>(fn));
     std::future<void> fut = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -71,10 +72,12 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  AnnotatedMutex mu_;
+  std::queue<std::function<void()>> queue_ HPCARBON_GUARDED_BY(mu_);
+  /// condition_variable_any: its wait takes the AnnotatedMutex directly,
+  /// keeping the guarded-access proofs intact across the wait.
+  std::condition_variable_any cv_;
+  bool stop_ HPCARBON_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace hpcarbon

@@ -3,11 +3,11 @@
 #include <algorithm>
 #include <deque>
 #include <limits>
-#include <mutex>
 #include <set>
 #include <utility>
 
 #include "core/error.h"
+#include "core/thread_annotations.h"
 #include "grid/forecast.h"
 
 namespace hpcarbon::sched {
@@ -334,8 +334,11 @@ class RenewableCapPolicy : public SchedulingPolicy {
 // ---------------------------------------------------------------------------
 
 struct Registry {
-  std::mutex mu;
-  std::vector<PolicyDescriptor> entries;  // registration order
+  AnnotatedMutex mu;
+  /// Registration order; mutated by static registrars and (rarely) by
+  /// late register_policy calls, read by every make_policy — a long-lived
+  /// daemon may do both concurrently.
+  std::vector<PolicyDescriptor> entries HPCARBON_GUARDED_BY(mu);
 };
 
 Registry& registry() {
@@ -349,7 +352,7 @@ void register_policy(PolicyDescriptor descriptor) {
   HPC_REQUIRE(!descriptor.name.empty() && descriptor.make != nullptr,
               "policy descriptor needs a name and a factory");
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   for (auto& e : r.entries) {
     if (e.name == descriptor.name) {
       e = std::move(descriptor);
@@ -361,13 +364,13 @@ void register_policy(PolicyDescriptor descriptor) {
 
 std::vector<PolicyDescriptor> registered_policies() {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   return r.entries;
 }
 
 std::optional<PolicyDescriptor> find_policy(const std::string& name_or_short) {
   Registry& r = registry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   for (const auto& e : r.entries) {
     if (e.name == name_or_short || e.short_name == name_or_short) return e;
   }

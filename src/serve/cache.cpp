@@ -40,7 +40,7 @@ ResultCache::Shard& ResultCache::shard_of(std::uint64_t key) {
 std::optional<std::string> ResultCache::get(std::uint64_t key,
                                             std::string_view canonical) {
   Shard& s = shard_of(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   const auto it = s.index.find(key);
   if (it == s.index.end() || it->second->canonical != canonical) {
     ++s.misses;  // absent, or a 64-bit hash collision: never serve it
@@ -55,7 +55,7 @@ void ResultCache::put(std::uint64_t key, std::string_view canonical,
                       std::string value) {
   const std::size_t cost = entry_cost(canonical, value);
   Shard& s = shard_of(key);
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (cost > budget_per_shard_) return;  // would evict the whole shard
   const auto it = s.index.find(key);
   if (it != s.index.end()) {
@@ -82,7 +82,7 @@ void ResultCache::put(std::uint64_t key, std::string_view canonical,
 CacheStats ResultCache::stats() const {
   CacheStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     total.hits += shard->hits;
     total.misses += shard->misses;
     total.evictions += shard->evictions;
@@ -103,7 +103,7 @@ TraceStore& TraceStore::global() {
 TraceStore::TracePtr TraceStore::preset(const std::string& code) {
   const std::string key = "preset:" + code;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -120,7 +120,7 @@ TraceStore::TracePtr TraceStore::preset(const std::string& code) {
   // the first insert wins.
   auto trace = std::make_shared<const grid::CarbonIntensityTrace>(
       grid::GridSimulator(*spec).run());
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] =
       entries_.try_emplace(key, Entry{trace, {}, false, 0});
   if (inserted) ++misses_;
@@ -134,7 +134,7 @@ TraceStore::TracePtr TraceStore::imported(const std::string& code,
                                           std::string* note) {
   const std::string key = "import:" + code + "=" + path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
@@ -152,7 +152,7 @@ TraceStore::TracePtr TraceStore::imported(const std::string& code,
       grid::import_trace_file(path, code, io, &report));
   Entry entry{std::move(trace),
               code + " <- " + path + ": " + report.to_string(), true, 0};
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto [it, inserted] = entries_.try_emplace(key, std::move(entry));
   if (inserted) ++misses_;
   else ++hits_;
@@ -184,33 +184,33 @@ void TraceStore::evict_imports_locked() {
 }
 
 void TraceStore::set_max_imports(std::size_t n) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   max_imports_ = n;
   evict_imports_locked();
 }
 
 std::size_t TraceStore::max_imports() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_imports_;
 }
 
 std::size_t TraceStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 std::uint64_t TraceStore::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return hits_;
 }
 
 std::uint64_t TraceStore::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return misses_;
 }
 
 void TraceStore::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_.clear();
   hits_ = 0;
   misses_ = 0;

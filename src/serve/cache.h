@@ -24,12 +24,12 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "grid/trace.h"
 
 namespace hpcarbon::serve {
@@ -85,15 +85,18 @@ class ResultCache {
     std::string value;
   };
   struct Shard {
-    mutable std::mutex mu;
-    /// Front = most recently used.
-    std::list<Entry> lru;
-    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index;
-    std::size_t bytes = 0;
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t evictions = 0;
-    std::uint64_t inserts = 0;
+    mutable AnnotatedMutex mu;
+    /// Front = most recently used. Every field below holds the shard
+    /// invariant (index points into lru; bytes == sum of entry costs;
+    /// entries == inserts - evictions) only while mu is held.
+    std::list<Entry> lru HPCARBON_GUARDED_BY(mu);
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index
+        HPCARBON_GUARDED_BY(mu);
+    std::size_t bytes HPCARBON_GUARDED_BY(mu) = 0;
+    std::uint64_t hits HPCARBON_GUARDED_BY(mu) = 0;
+    std::uint64_t misses HPCARBON_GUARDED_BY(mu) = 0;
+    std::uint64_t evictions HPCARBON_GUARDED_BY(mu) = 0;
+    std::uint64_t inserts HPCARBON_GUARDED_BY(mu) = 0;
   };
 
   Shard& shard_of(std::uint64_t key);
@@ -152,14 +155,14 @@ class TraceStore {
     std::uint64_t last_use = 0;  // recency stamp for import eviction
   };
 
-  void evict_imports_locked();
+  void evict_imports_locked() HPCARBON_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t use_clock_ = 0;
-  std::size_t max_imports_ = 32;
+  mutable AnnotatedMutex mu_;
+  std::map<std::string, Entry> entries_ HPCARBON_GUARDED_BY(mu_);
+  std::uint64_t hits_ HPCARBON_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ HPCARBON_GUARDED_BY(mu_) = 0;
+  std::uint64_t use_clock_ HPCARBON_GUARDED_BY(mu_) = 0;
+  std::size_t max_imports_ HPCARBON_GUARDED_BY(mu_) = 32;
 };
 
 }  // namespace hpcarbon::serve

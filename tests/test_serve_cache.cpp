@@ -138,6 +138,25 @@ TEST(ResultCache, ShardIndependenceUnderThreadHammer) {
   EXPECT_LE(s.bytes, cache.byte_budget());
   EXPECT_LE(s.entries, 256u);
   EXPECT_GT(s.hits, 0u);
+
+  // Exact ledger coherence, not just sanitizer silence: entries enter
+  // only via insert and leave only via eviction, and the byte counter
+  // must equal the summed cost of exactly the resident entries (probed
+  // single-threaded after the hammer; probing moves hit/miss counters
+  // but never bytes or entries).
+  EXPECT_EQ(s.entries, s.inserts - s.evictions);
+  std::size_t resident = 0;
+  std::size_t resident_bytes = 0;
+  for (std::uint64_t key = 0; key < 256; ++key) {
+    const std::string canonical = "canon-" + std::to_string(key);
+    if (cache.get(key, canonical).has_value()) {
+      ++resident;
+      resident_bytes +=
+          ResultCache::entry_cost(canonical, "value-" + std::to_string(key));
+    }
+  }
+  EXPECT_EQ(resident, s.entries);
+  EXPECT_EQ(resident_bytes, s.bytes);
 }
 
 TEST(TraceStore, PresetMatchesBatchGeneratorBitForBit) {
