@@ -15,6 +15,7 @@
 #include "core/rng.h"
 #include "grid/presets.h"
 #include "grid/simulator.h"
+#include "reporter.h"
 #include "sched/engine.h"
 #include "sched/policy.h"
 #include "sched/workload_gen.h"
@@ -42,14 +43,15 @@ double hour_stepping_interval_sum(const grid::CarbonIntensityTrace& trace,
   return acc;
 }
 
-void bench_interval_carbon(const grid::CarbonIntensityTrace& trace) {
+void bench_interval_carbon(const grid::CarbonIntensityTrace& trace,
+                           bench::Reporter& report, bool smoke) {
   bench::print_banner("Interval-carbon queries: prefix sum vs hour stepping");
   // Year-long trace, random intervals up to a full year (the Top500-scale
   // workloads of Rao & Chien 2025 price multi-month windows per system).
   Rng rng(7);
-  constexpr int kQueries = 20000;
+  const int kQueries = smoke ? 2000 : 20000;
   std::vector<std::pair<double, double>> queries;
-  queries.reserve(kQueries);
+  queries.reserve(static_cast<std::size_t>(kQueries));
   for (int i = 0; i < kQueries; ++i) {
     queries.emplace_back(rng.uniform(0.0, kHoursPerYear),
                          rng.uniform(1.0, kHoursPerYear));
@@ -82,16 +84,28 @@ void bench_interval_carbon(const grid::CarbonIntensityTrace& trace) {
       std::abs(sum_prefix - sum_loop) / std::max(1.0, std::abs(sum_loop));
   std::cout << "speedup " << TextTable::num(ms_loop / ms_prefix, 0)
             << "x, agreement " << rel_err << " relative\n";
+
+  using bench::Direction;
+  report.metric("interval_prefix_ns", ms_prefix * 1e6 / kQueries, "ns",
+                Direction::kLowerIsBetter, /*pinned=*/true);
+  report.metric("interval_loop_ns", ms_loop * 1e6 / kQueries, "ns",
+                Direction::kLowerIsBetter);
+  report.metric("interval_speedup", ms_loop / ms_prefix, "x",
+                Direction::kHigherIsBetter);
 }
 
 }  // namespace
 
-static int tool_main(int, char**) {
+static int tool_main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "sched-ablation");
+  bench::Reporter report("sched-ablation", args);
   // Home site is the dirtiest of the Fig. 7 trio (ERCOT); ESO and CISO are
   // the remote options. Moderate load (well under one site's capacity) so
   // the policies differ by *placement choice*, not by queueing overflow.
   // The four-week window starts June 1: the paper's Fig. 7 complementarity
-  // is strongest outside the UK winter-demand peak.
+  // is strongest outside the UK winter-demand peak. Smoke mode shortens
+  // the horizon to one week; savings percentages shift slightly, which is
+  // why fingerprint.mode is part of every trajectory row.
   const auto traces = grid::generate_traces(grid::fig7_regions());
   std::vector<sched::Site> sites = {
       sched::make_site("ERCOT", traces[2], 16),
@@ -101,7 +115,7 @@ static int tool_main(int, char**) {
   sched::SchedulingEngine engine(sites, HourOfYear(month_start_hour(5)));
 
   sched::WorkloadParams wp;
-  wp.horizon_hours = 24.0 * 28;  // four weeks
+  wp.horizon_hours = 24.0 * (args.smoke ? 7 : 28);
   wp.arrival_rate_per_hour = 2.5;
   const auto jobs = sched::generate_jobs(wp);
 
@@ -121,6 +135,7 @@ static int tool_main(int, char**) {
   using clock = std::chrono::steady_clock;
   const auto sweep_start = clock::now();
   double baseline_g = 0;
+  double best_savings = 0;
   TextTable t({"Policy", "Carbon (kg)", "Savings vs baseline", "Mean wait (h)",
                "p95 wait (h)", "Remote jobs"});
   for (const auto& desc : sched::registered_policies()) {
@@ -129,17 +144,17 @@ static int tool_main(int, char**) {
     if (baseline_g == 0) baseline_g = m.total_carbon.to_grams();
     const double savings =
         100.0 * (baseline_g - m.total_carbon.to_grams()) / baseline_g;
+    best_savings = std::max(best_savings, savings);
     t.add_row({desc.name, TextTable::num(m.total_carbon.to_kilograms(), 1),
                TextTable::pct(savings, 1), TextTable::num(m.mean_wait_hours, 2),
                TextTable::num(m.p95_wait_hours, 2),
                std::to_string(m.remote_dispatches)});
   }
+  const double sweep_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - sweep_start)
+          .count();
   bench::print_table(t);
-  std::cout << "policy sweep wall time "
-            << TextTable::num(std::chrono::duration<double, std::milli>(
-                                  clock::now() - sweep_start)
-                                  .count(),
-                              0)
+  std::cout << "policy sweep wall time " << TextTable::num(sweep_ms, 0)
             << " ms\n";
 
   // Threshold sensitivity for the temporal-shifting policy.
@@ -160,15 +175,30 @@ static int tool_main(int, char**) {
   }
   bench::print_table(s);
 
-  bench_interval_carbon(traces[2]);
+  bench_interval_carbon(traces[2], report, args.smoke);
 
   std::cout << "\nCross-region greedy dispatch exploits the Fig. 7 "
                "complementarity; threshold-delay trades queue wait for "
                "carbon, the incentive the paper's carbon-budget proposal "
                "formalizes."
             << std::endl;
+
+  using bench::Direction;
+  report.metric("jobs", static_cast<double>(jobs.size()), "count",
+                Direction::kHigherIsBetter);
+  report.metric("policy_sweep_ms", sweep_ms, "ms", Direction::kLowerIsBetter,
+                /*pinned=*/true);
+  report.metric("jobs_per_s",
+                1000.0 * static_cast<double>(jobs.size()) *
+                    static_cast<double>(sched::registered_policies().size()) /
+                    sweep_ms,
+                "jobs/s", Direction::kHigherIsBetter);
+  report.metric("best_savings_pct", best_savings, "%",
+                Direction::kHigherIsBetter);
+  report.write();
   return 0;
 }
 
 HPCARBON_TOOL("sched-ablation", ToolKind::kBench,
-              "Ablation A1: carbon-aware scheduling policies vs FCFS baseline")
+              "Ablation A1: carbon-aware scheduling policies vs FCFS "
+              "baseline; --json trajectory")

@@ -15,6 +15,7 @@
 #include "core/rng.h"
 #include "core/series.h"
 #include "core/time.h"
+#include "reporter.h"
 
 #include "cli/registry.h"
 
@@ -45,16 +46,20 @@ double ns_per_call(clock_type::time_point t0, clock_type::time_point t1,
 
 }  // namespace
 
-static int tool_main(int, char**) {
-  constexpr int kQueries = 200000;
+static int tool_main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "series");
+  bench::Reporter report("series", args);
+  const int kQueries = args.smoke ? 20000 : 200000;
+  const int kReps = args.smoke ? 5 : 50;
   Rng rng(3);
   std::vector<std::pair<double, double>> queries;
-  queries.reserve(kQueries);
+  queries.reserve(static_cast<std::size_t>(kQueries));
   for (int i = 0; i < kQueries; ++i) {
     queries.emplace_back(rng.uniform(-8760.0, 2.0 * 8760.0),
                          rng.uniform(0.01, 3.0 * 8760.0));
   }
 
+  using bench::Direction;
   bench::print_banner("A4 (a): integral query cost vs resolution");
   TextTable t({"Resolution", "Samples", "ns/query", "vs hourly", "Checksum"});
   double hourly_ns = 0;
@@ -73,6 +78,8 @@ static int tool_main(int, char**) {
                std::to_string(s.size()), TextTable::num(ns, 1),
                TextTable::num(ns / hourly_ns, 2) + "x",
                TextTable::num((acc + sink) * 1e-9, 3)});
+    report.metric("integral_ns_" + TextTable::num(step, 0) + "s", ns, "ns",
+                  Direction::kLowerIsBetter, /*pinned=*/step == 300.0);
   }
   bench::print_table(t);
   std::cout << "O(1) check: 12x the samples must not mean 12x the query "
@@ -82,7 +89,6 @@ static int tool_main(int, char**) {
   TextTable c({"Operation", "Samples", "ms", "M samples/s"});
   for (const double step : {3600.0, 300.0}) {
     const auto values = synthetic_year(step);
-    constexpr int kReps = 50;
     const auto t0 = clock_type::now();
     double sink = 0;
     for (int r = 0; r < kReps; ++r) {
@@ -96,11 +102,13 @@ static int tool_main(int, char**) {
                std::to_string(values.size()), TextTable::num(ms, 3),
                TextTable::num(static_cast<double>(values.size()) / ms / 1e3,
                               1)});
+    report.metric("construct_msamples_s_" + TextTable::num(step, 0) + "s",
+                  static_cast<double>(values.size()) / ms / 1e3, "Msamples/s",
+                  Direction::kHigherIsBetter, /*pinned=*/step == 300.0);
     (void)sink;
   }
   {
     const StepSeries fine(synthetic_year(300.0), 300.0);
-    constexpr int kReps = 50;
     const auto t0 = clock_type::now();
     double sink = 0;
     for (int r = 0; r < kReps; ++r) {
@@ -113,12 +121,16 @@ static int tool_main(int, char**) {
                TextTable::num(ms, 3),
                TextTable::num(static_cast<double>(fine.size()) / ms / 1e3,
                               1)});
+    report.metric("resample_msamples_s",
+                  static_cast<double>(fine.size()) / ms / 1e3, "Msamples/s",
+                  Direction::kHigherIsBetter, /*pinned=*/true);
     (void)sink;
   }
   bench::print_table(c);
+  report.write();
   return 0;
 }
 
 HPCARBON_TOOL("series", ToolKind::kBench,
               "Ablation A4: StepSeries integral cost vs resolution, "
-              "construction/resampling throughput")
+              "construction/resampling throughput; --json trajectory")

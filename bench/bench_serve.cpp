@@ -1,14 +1,22 @@
 // Serve-layer load generator: what the query service costs and what the
 // cache buys.
 //
-// (a) Zipf-skewed request mix over every query family (a production query
-//     log is head-heavy: a handful of dashboards ask the same questions
-//     over and over), replayed cold (empty cache) and warm (same engine,
-//     same mix again). Reports throughput, p50/p99 per-request latency,
-//     and cache hit rate. Target: >= 10x warm-over-cold on the repeated
-//     mix, memory flat under the byte budget.
-// (b) Batch-planner throughput: the same mix answered via handle_batch
-//     (dedup + pool fan-out) instead of line-by-line.
+// Phases are explicit and seed-pinned so that `--json` trajectory rows
+// are comparable across machines and across PRs:
+//
+//   cold  — a fresh Engine answers the pinned Zipf mix line by line
+//           (cache filling; every distinct query evaluates once).
+//   warm  — the same Engine answers the identical mix again (cache full;
+//           the steady state a dashboard-heavy production log sees).
+//   batch — a second fresh Engine answers the same mix via handle_batch
+//           (dedup + pool fan-out), cold then warm.
+//
+// The mix itself is a deterministic function of two pinned seeds:
+// kShuffleSeed shuffles the query universe (so Zipf head ranks are not
+// correlated with family order) and kMixSeed draws the Zipf(1.1) ranks.
+// Identical on every machine, every run, full and smoke mode alike —
+// smoke only shortens the replay, it does not re-roll it.
+//
 // (c) TraceStore reuse: what one preset-trace generation costs vs the
 //     shared-store lookup every later section/query performs — the reason
 //     `hpcarbon sweep` sections and `run --uncertainty` stopped re-parsing
@@ -27,6 +35,7 @@
 #include "core/thread_pool.h"
 #include "grid/presets.h"
 #include "grid/simulator.h"
+#include "reporter.h"
 #include "serve/cache.h"
 #include "serve/engine.h"
 
@@ -37,6 +46,14 @@ using namespace hpcarbon;
 namespace {
 
 using clock_type = std::chrono::steady_clock;
+
+// Pinned phase seeds: the request stream is part of the benchmark's
+// identity. Changing either invalidates cross-row comparisons, so treat
+// them like a file format version.
+constexpr std::uint64_t kShuffleSeed = 7;
+constexpr std::uint64_t kMixSeed = 11;
+constexpr std::size_t kFullRequests = 2000;
+constexpr std::size_t kSmokeRequests = 300;
 
 double ms_since(clock_type::time_point t0) {
   return std::chrono::duration<double, std::milli>(clock_type::now() - t0)
@@ -77,19 +94,27 @@ std::vector<std::string> query_universe() {
 }
 
 /// Zipf(s=1.1) ranks over the shuffled universe: rank 1 dominates, the
-/// tail still appears. Returns `count` request lines.
-std::vector<std::string> zipf_mix(const std::vector<std::string>& universe,
-                                  std::size_t count, Rng& rng) {
+/// tail still appears. Returns `count` request lines, fully determined by
+/// the two pinned seeds.
+std::vector<std::string> pinned_mix(std::size_t count) {
+  std::vector<std::string> universe = query_universe();
+  Rng shuffle_rng(kShuffleSeed);
+  for (std::size_t i = universe.size(); i > 1; --i) {
+    std::swap(universe[i - 1],
+              universe[static_cast<std::size_t>(shuffle_rng.uniform_int(
+                  0, static_cast<std::int64_t>(i) - 1))]);
+  }
   std::vector<double> cdf(universe.size());
   double total = 0;
   for (std::size_t r = 0; r < universe.size(); ++r) {
     total += 1.0 / std::pow(static_cast<double>(r + 1), 1.1);
     cdf[r] = total;
   }
+  Rng mix_rng(kMixSeed);
   std::vector<std::string> mix;
   mix.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    const double u = rng.uniform(0.0, total);
+    const double u = mix_rng.uniform(0.0, total);
     const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
     mix.push_back(universe[static_cast<std::size_t>(it - cdf.begin())]);
   }
@@ -107,10 +132,12 @@ PassResult replay(serve::Engine& engine, const std::vector<std::string>& mix) {
   const serve::CacheStats before = engine.cache_stats();
   std::vector<double> latencies_us;
   latencies_us.reserve(mix.size());
+  std::string response;  // reused, as the daemon loop does
   const auto t0 = clock_type::now();
   for (const auto& line : mix) {
     const auto r0 = clock_type::now();
-    const std::string response = engine.handle_line(line);
+    response.clear();
+    engine.handle_line_to(line, response);
     latencies_us.push_back(
         std::chrono::duration<double, std::micro>(clock_type::now() - r0)
             .count());
@@ -130,41 +157,39 @@ PassResult replay(serve::Engine& engine, const std::vector<std::string>& mix) {
   return res;
 }
 
+double qps(const PassResult& r, std::size_t requests) {
+  return 1000.0 * static_cast<double>(requests) / r.total_ms;
+}
+
 void add_pass_row(TextTable& t, const std::string& label, const PassResult& r,
                   std::size_t requests) {
-  const double qps = 1000.0 * static_cast<double>(requests) / r.total_ms;
   const double hit_rate =
       100.0 * static_cast<double>(r.stats.hits) /
       static_cast<double>(r.stats.hits + r.stats.misses);
   t.add_row({label, std::to_string(requests), TextTable::num(r.total_ms, 1),
-             TextTable::num(qps, 0), TextTable::num(r.p50_us, 1),
+             TextTable::num(qps(r, requests), 0), TextTable::num(r.p50_us, 1),
              TextTable::num(r.p99_us, 1), TextTable::num(hit_rate, 1),
              std::to_string(r.stats.evictions),
              std::to_string(r.stats.bytes)});
 }
 
-int tool_main(int, char**) {
-  constexpr std::size_t kRequests = 2000;
+int tool_main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv, "serve-load");
+  bench::Reporter report("serve-load", args);
+  const std::size_t requests = args.smoke ? kSmokeRequests : kFullRequests;
+
   bench::print_banner(
       "serve-load: Zipf query mix, cold vs warm cache (target >= 10x)");
-
-  Rng rng(7);
-  std::vector<std::string> universe = query_universe();
-  // Shuffle so Zipf head ranks are not correlated with family order.
-  for (std::size_t i = universe.size(); i > 1; --i) {
-    std::swap(universe[i - 1],
-              universe[static_cast<std::size_t>(rng.uniform_int(
-                  0, static_cast<std::int64_t>(i) - 1))]);
-  }
-  const auto mix = zipf_mix(universe, kRequests, rng);
-  std::cout << universe.size() << " distinct queries, " << mix.size()
-            << " Zipf(1.1)-skewed requests\n";
+  const auto mix = pinned_mix(requests);
+  std::cout << query_universe().size() << " distinct queries, " << mix.size()
+            << " Zipf(1.1)-skewed requests (shuffle seed " << kShuffleSeed
+            << ", mix seed " << kMixSeed << ")\n";
 
   serve::ServeOptions opts;
   opts.cache_bytes = 4u << 20;
   serve::Engine engine(opts);
 
-  TextTable t({"Pass", "Requests", "Total ms", "req/s", "p50 us", "p99 us",
+  TextTable t({"Phase", "Requests", "Total ms", "req/s", "p50 us", "p99 us",
                "Hit %", "Evictions", "Cache bytes"});
   const PassResult cold = replay(engine, mix);
   add_pass_row(t, "cold (cache filling)", cold, mix.size());
@@ -178,23 +203,24 @@ int tool_main(int, char**) {
             << (warm.stats.bytes <= opts.cache_bytes ? "yes" : "NO") << "\n";
 
   bench::print_banner("serve-load: batch planner (dedup + pool fan-out)");
-  TextTable b({"Mode", "Requests", "Total ms", "req/s"});
+  TextTable b({"Phase", "Requests", "Total ms", "req/s"});
+  double batch_cold_ms = 0, batch_warm_ms = 0;
   {
     serve::Engine batch_engine(opts);
     const auto t0 = clock_type::now();
     const auto responses = batch_engine.handle_batch(mix);
-    const double cold_ms = ms_since(t0);
+    batch_cold_ms = ms_since(t0);
     const auto t1 = clock_type::now();
     (void)batch_engine.handle_batch(mix);
-    const double warm_ms = ms_since(t1);
+    batch_warm_ms = ms_since(t1);
     b.add_row({"batch cold", std::to_string(responses.size()),
-               TextTable::num(cold_ms, 1),
+               TextTable::num(batch_cold_ms, 1),
                TextTable::num(1000.0 * static_cast<double>(mix.size()) /
-                                  cold_ms, 0)});
+                                  batch_cold_ms, 0)});
     b.add_row({"batch warm", std::to_string(mix.size()),
-               TextTable::num(warm_ms, 1),
+               TextTable::num(batch_warm_ms, 1),
                TextTable::num(1000.0 * static_cast<double>(mix.size()) /
-                                  warm_ms, 0)});
+                                  batch_warm_ms, 0)});
   }
   bench::print_table(b);
 
@@ -223,11 +249,43 @@ int tool_main(int, char**) {
   bench::print_table(s);
   std::cout << "store counters: " << store.hits() << " hits, "
             << store.misses() << " misses\n";
+
+  // The trajectory contract: warm p50/throughput are the pinned hot-path
+  // metrics (the per-request cost once evaluation is out of the picture
+  // — pure parse/canonicalize/hash/hit/emit); cold and batch rows are
+  // informational context.
+  using bench::Direction;
+  report.metric("requests", static_cast<double>(mix.size()), "count",
+                Direction::kHigherIsBetter);
+  report.metric("cold_qps", qps(cold, mix.size()), "req/s",
+                Direction::kHigherIsBetter);
+  report.metric("cold_p50_us", cold.p50_us, "us", Direction::kLowerIsBetter);
+  report.metric("warm_qps", qps(warm, mix.size()), "req/s",
+                Direction::kHigherIsBetter, /*pinned=*/true);
+  report.metric("warm_p50_us", warm.p50_us, "us", Direction::kLowerIsBetter,
+                /*pinned=*/true);
+  report.metric("warm_p99_us", warm.p99_us, "us", Direction::kLowerIsBetter);
+  report.metric("warm_hit_pct",
+                100.0 * static_cast<double>(warm.stats.hits) /
+                    static_cast<double>(warm.stats.hits + warm.stats.misses),
+                "%", Direction::kHigherIsBetter);
+  report.metric("warm_over_cold", cold.total_ms / warm.total_ms, "x",
+                Direction::kHigherIsBetter);
+  report.metric("batch_cold_qps",
+                1000.0 * static_cast<double>(mix.size()) / batch_cold_ms,
+                "req/s", Direction::kHigherIsBetter);
+  report.metric("batch_warm_qps",
+                1000.0 * static_cast<double>(mix.size()) / batch_warm_ms,
+                "req/s", Direction::kHigherIsBetter, /*pinned=*/true);
+  report.metric("trace_generate_ms", generate_ms, "ms",
+                Direction::kLowerIsBetter);
+  report.metric("trace_lookup_us", lookup_us, "us", Direction::kLowerIsBetter);
+  report.write();
   return 0;
 }
 
 }  // namespace
 
 HPCARBON_TOOL("serve-load", ToolKind::kBench,
-              "Query-service load generator: Zipf mix, cold/warm cache "
-              "throughput and latency, batch planner, TraceStore reuse")
+              "Query-service load generator: pinned-seed Zipf mix, "
+              "cold/warm/batch phases, TraceStore reuse; --json trajectory")

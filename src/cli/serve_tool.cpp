@@ -161,15 +161,19 @@ int cmd_serve(int argc, char** argv) {
 
   serve::Engine engine(opts.serve);
   std::string line;
+  std::string response;  // reused across lines (handle_line_to appends)
   while (std::getline(std::cin, line)) {
     while (!line.empty() &&
            (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
       line.pop_back();
     }
     if (line.empty()) continue;
+    response.clear();
+    engine.handle_line_to(line, response);
+    response.push_back('\n');
     // One response per request, flushed immediately: the reader on the
     // other end of the pipe must not wait on a buffer.
-    std::cout << engine.handle_line(line) << std::endl;
+    std::cout << response << std::flush;
   }
   return 0;
 }

@@ -115,16 +115,21 @@ void Value::push_back(Value v) {
 
 // --- Emission ---------------------------------------------------------------
 
-std::string dump_number(double v) {
+void dump_number_to(std::string& out, double v) {
   HPC_REQUIRE(std::isfinite(v), "json: numbers must be finite");
   char buf[32];
   const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, res.ptr);
+  out.append(buf, res.ptr);
 }
 
-std::string quote(std::string_view s) {
+std::string dump_number(double v) {
   std::string out;
-  out.reserve(s.size() + 2);
+  dump_number_to(out, v);
+  return out;
+}
+
+void quote_to(std::string& out, std::string_view s) {
+  out.reserve(out.size() + s.size() + 2);
   out.push_back('"');
   for (const char c : s) {
     switch (c) {
@@ -147,6 +152,11 @@ std::string quote(std::string_view s) {
     }
   }
   out.push_back('"');
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  quote_to(out, s);
   return out;
 }
 
@@ -161,10 +171,10 @@ void dump_value(const Value& v, bool sort_keys, std::string& out) {
       out += v.as_bool() ? "true" : "false";
       break;
     case Value::Type::kNumber:
-      out += dump_number(v.as_number());
+      dump_number_to(out, v.as_number());
       break;
     case Value::Type::kString:
-      out += quote(v.as_string());
+      quote_to(out, v.as_string());
       break;
     case Value::Type::kArray: {
       out.push_back('[');
@@ -179,24 +189,30 @@ void dump_value(const Value& v, bool sort_keys, std::string& out) {
     }
     case Value::Type::kObject: {
       // Sorting indexes the member list rather than copying the values:
-      // members can be deep.
+      // members can be deep. Small objects (every serve request/response)
+      // sort through a stack-resident index so emission stays
+      // allocation-free.
       const auto& members = v.members();
-      std::vector<std::size_t> order(members.size());
-      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::size_t stack_order[32];
+      std::vector<std::size_t> heap_order;
+      std::size_t* order = stack_order;
+      if (members.size() > 32) {
+        heap_order.resize(members.size());
+        order = heap_order.data();
+      }
+      for (std::size_t i = 0; i < members.size(); ++i) order[i] = i;
       if (sort_keys) {
-        std::sort(order.begin(), order.end(), [&](std::size_t a,
-                                                  std::size_t b) {
+        std::sort(order, order + members.size(), [&](std::size_t a,
+                                                     std::size_t b) {
           return members[a].first < members[b].first;
         });
       }
       out.push_back('{');
-      bool first = true;
-      for (const std::size_t i : order) {
-        if (!first) out.push_back(',');
-        first = false;
-        out += quote(members[i].first);
+      for (std::size_t k = 0; k < members.size(); ++k) {
+        if (k != 0) out.push_back(',');
+        quote_to(out, members[order[k]].first);
         out.push_back(':');
-        dump_value(members[i].second, sort_keys, out);
+        dump_value(members[order[k]].second, sort_keys, out);
       }
       out.push_back('}');
       break;
@@ -212,264 +228,412 @@ std::string Value::dump(bool sort_keys) const {
   return out;
 }
 
-// --- Parsing ----------------------------------------------------------------
+void Value::dump_to(std::string& out, bool sort_keys) const {
+  dump_value(*this, sort_keys, out);
+}
+
+// --- Parsing (Reader: arena nodes, zero-copy strings) -----------------------
 
 namespace {
 
 constexpr int kMaxDepth = 64;
 
-class Parser {
- public:
-  explicit Parser(const std::string& text) : text_(text) {}
+}  // namespace
 
-  Value parse_document() {
-    skip_ws();
-    Value v = parse_value(0);
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return v;
+bool Reader::as_bool(Ref r) const {
+  const Node& n = node(r);
+  if (n.type != Value::Type::kBool) type_error("bool", n.type);
+  return n.flag;
+}
+
+double Reader::as_number(Ref r) const {
+  const Node& n = node(r);
+  if (n.type != Value::Type::kNumber) type_error("number", n.type);
+  return n.num;
+}
+
+std::string_view Reader::as_string(Ref r) const {
+  const Node& n = node(r);
+  if (n.type != Value::Type::kString) type_error("string", n.type);
+  return resolve(n.str_off, n.str_len, n.str_in_arena);
+}
+
+Reader::Ref Reader::first_child(Ref r) const {
+  const Node& n = node(r);
+  if (n.type != Value::Type::kArray && n.type != Value::Type::kObject) {
+    type_error("array or object", n.type);
   }
+  return n.child;
+}
 
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw Error("json: " + what + " at offset " + std::to_string(pos_));
+std::string_view Reader::key(Ref member) const {
+  const Node& n = node(member);
+  return resolve(n.key_off, n.key_len, n.key_in_arena);
+}
+
+std::size_t Reader::size(Ref r) const {
+  std::size_t count = 0;
+  for (Ref c = first_child(r); c != kNone; c = next(c)) ++count;
+  return count;
+}
+
+Reader::Ref Reader::find(Ref obj, std::string_view want) const {
+  const Node& n = node(obj);
+  if (n.type != Value::Type::kObject) type_error("object", n.type);
+  for (Ref c = n.child; c != kNone; c = next(c)) {
+    if (key(c) == want) return c;
   }
+  return kNone;
+}
 
-  void skip_ws() {
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
-      ++pos_;
+Value Reader::materialize(Ref r) const {
+  const Node& n = node(r);
+  switch (n.type) {
+    case Value::Type::kNull:
+      return Value::null();
+    case Value::Type::kBool:
+      return Value::boolean(n.flag);
+    case Value::Type::kNumber:
+      return Value::number(n.num);
+    case Value::Type::kString:
+      return Value::string(std::string(as_string(r)));
+    case Value::Type::kArray: {
+      std::vector<Value> items;
+      for (Ref c = n.child; c != kNone; c = next(c)) {
+        items.push_back(materialize(c));
+      }
+      return Value::array(std::move(items));
+    }
+    case Value::Type::kObject: {
+      // Members go straight into the vector: parse() already rejected
+      // duplicate keys, so the linear probe in Value::set is dead weight.
+      std::vector<Member> members;
+      for (Ref c = n.child; c != kNone; c = next(c)) {
+        members.emplace_back(std::string(key(c)), materialize(c));
+      }
+      return Value::object(std::move(members));
     }
   }
+  return Value::null();  // unreachable; keeps -Wreturn-type quiet
+}
 
-  char peek() const {
-    if (pos_ >= text_.size()) {
-      throw Error("json: unexpected end of input at offset " +
-                  std::to_string(pos_));
-    }
-    return text_[pos_];
-  }
+void Reader::fail(const std::string& what) const {
+  throw Error("json: " + what + " at offset " + std::to_string(pos_));
+}
 
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
+void Reader::skip_ws() {
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
     ++pos_;
   }
+}
 
-  bool consume_literal(const char* lit) {
-    const std::size_t n = std::char_traits<char>::length(lit);
-    if (text_.compare(pos_, n, lit) != 0) return false;
-    pos_ += n;
-    return true;
+char Reader::peek() const {
+  if (pos_ >= text_.size()) {
+    throw Error("json: unexpected end of input at offset " +
+                std::to_string(pos_));
   }
+  return text_[pos_];
+}
 
-  Value parse_value(int depth) {
-    if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
-    switch (peek()) {
-      case 'n':
-        if (!consume_literal("null")) fail("bad literal");
-        return Value::null();
-      case 't':
-        if (!consume_literal("true")) fail("bad literal");
-        return Value::boolean(true);
-      case 'f':
-        if (!consume_literal("false")) fail("bad literal");
-        return Value::boolean(false);
-      case '"':
-        return Value::string(parse_string());
-      case '[':
-        return parse_array(depth);
-      case '{':
-        return parse_object(depth);
-      default:
-        return parse_number();
+void Reader::expect(char c) {
+  if (peek() != c) fail(std::string("expected '") + c + "'");
+  ++pos_;
+}
+
+bool Reader::consume_literal(const char* lit) {
+  const std::size_t n = std::char_traits<char>::length(lit);
+  if (text_.compare(pos_, n, lit) != 0) return false;
+  pos_ += n;
+  return true;
+}
+
+Reader::Ref Reader::new_node(Value::Type t) {
+  const Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().type = t;
+  return r;
+}
+
+void Reader::append_child(Ref parent, Ref child) {
+  Node& p = node(parent);
+  if (p.last_child == kNone) {
+    p.child = child;
+  } else {
+    node(p.last_child).next = child;
+  }
+  p.last_child = child;
+}
+
+Reader::Ref Reader::parse(std::string_view text) {
+  nodes_.clear();   // capacity survives: reuse is the whole point
+  arena_.clear();
+  text_ = text;
+  pos_ = 0;
+  skip_ws();
+  const Ref root = parse_value(0);
+  skip_ws();
+  if (pos_ != text_.size()) fail("trailing characters after document");
+  return root;
+}
+
+Reader::Ref Reader::parse_value(int depth) {
+  if (depth > kMaxDepth) fail("nesting deeper than 64 levels");
+  switch (peek()) {
+    case 'n':
+      if (!consume_literal("null")) fail("bad literal");
+      return new_node(Value::Type::kNull);
+    case 't': {
+      if (!consume_literal("true")) fail("bad literal");
+      const Ref r = new_node(Value::Type::kBool);
+      node(r).flag = true;
+      return r;
     }
+    case 'f':
+      if (!consume_literal("false")) fail("bad literal");
+      return new_node(Value::Type::kBool);
+    case '"': {
+      const Ref r = new_node(Value::Type::kString);
+      std::uint32_t off = 0, len = 0;
+      bool in_arena = false;
+      parse_string_payload(&off, &len, &in_arena);
+      Node& n = node(r);
+      n.str_off = off;
+      n.str_len = len;
+      n.str_in_arena = in_arena;
+      return r;
+    }
+    case '[':
+      return parse_array(depth);
+    case '{':
+      return parse_object(depth);
+    default:
+      return parse_number();
   }
+}
 
-  Value parse_number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    const std::size_t int_start = pos_;
+Reader::Ref Reader::parse_number() {
+  const std::size_t start = pos_;
+  if (peek() == '-') ++pos_;
+  const std::size_t int_start = pos_;
+  while (pos_ < text_.size() && std::isdigit(
+             static_cast<unsigned char>(text_[pos_]))) {
+    ++pos_;
+  }
+  if (pos_ == int_start) {
+    pos_ = start;
+    fail("expected a value");
+  }
+  if (pos_ - int_start > 1 && text_[int_start] == '0') {
+    pos_ = int_start;
+    fail("leading zeros are not allowed");
+  }
+  if (pos_ < text_.size() && text_[pos_] == '.') {
+    ++pos_;
+    const std::size_t frac = pos_;
     while (pos_ < text_.size() && std::isdigit(
                static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
     }
-    if (pos_ == int_start) {
-      pos_ = start;
-      fail("expected a value");
-    }
-    if (pos_ - int_start > 1 && text_[int_start] == '0') {
-      pos_ = int_start;
-      fail("leading zeros are not allowed");
-    }
-    if (pos_ < text_.size() && text_[pos_] == '.') {
+    if (pos_ == frac) fail("digits required after decimal point");
+  }
+  if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    ++pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
       ++pos_;
-      const std::size_t frac = pos_;
-      while (pos_ < text_.size() && std::isdigit(
-                 static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-      if (pos_ == frac) fail("digits required after decimal point");
     }
-    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+    const std::size_t exp = pos_;
+    while (pos_ < text_.size() && std::isdigit(
+               static_cast<unsigned char>(text_[pos_]))) {
       ++pos_;
-      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
-        ++pos_;
-      }
-      const std::size_t exp = pos_;
-      while (pos_ < text_.size() && std::isdigit(
-                 static_cast<unsigned char>(text_[pos_]))) {
-        ++pos_;
-      }
-      if (pos_ == exp) fail("digits required in exponent");
     }
-    double v = 0;
-    const auto res =
-        std::from_chars(text_.data() + start, text_.data() + pos_, v);
-    if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
-      fail("malformed number");
-    }
-    if (!std::isfinite(v)) fail("number out of double range");
-    return Value::number(v);
+    if (pos_ == exp) fail("digits required in exponent");
   }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (static_cast<unsigned char>(c) < 0x20) {
-        --pos_;
-        fail("unescaped control character in string");
-      }
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= text_.size()) fail("unterminated escape");
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': append_codepoint(out); break;
-        default:
-          pos_ -= 1;
-          fail("unknown escape");
-      }
-    }
+  double v = 0;
+  const auto res =
+      std::from_chars(text_.data() + start, text_.data() + pos_, v);
+  if (res.ec != std::errc() || res.ptr != text_.data() + pos_) {
+    fail("malformed number");
   }
+  if (!std::isfinite(v)) fail("number out of double range");
+  const Ref r = new_node(Value::Type::kNumber);
+  node(r).num = v;
+  return r;
+}
 
-  unsigned parse_hex4() {
-    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-    unsigned cp = 0;
-    for (int i = 0; i < 4; ++i) {
-      const char c = text_[pos_++];
-      cp <<= 4;
-      if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
-      else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
-      else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
-      else fail("bad hex digit in \\u escape");
+void Reader::parse_string_payload(std::uint32_t* out_off,
+                                  std::uint32_t* out_len, bool* in_arena) {
+  expect('"');
+  // Fast scan: a literal with no escape and no control character is a
+  // view straight into the input — the common case for every request
+  // field, and the reason parsing allocates nothing.
+  const std::size_t start = pos_;
+  while (pos_ < text_.size()) {
+    const char c = text_[pos_];
+    if (c == '"') {
+      *out_off = static_cast<std::uint32_t>(start);
+      *out_len = static_cast<std::uint32_t>(pos_ - start);
+      *in_arena = false;
+      ++pos_;
+      return;
     }
-    return cp;
+    if (c == '\\' || static_cast<unsigned char>(c) < 0x20) break;
+    ++pos_;
   }
-
-  void append_codepoint(std::string& out) {
-    unsigned cp = parse_hex4();
-    if (cp >= 0xD800 && cp <= 0xDBFF) {
-      // High surrogate: a low surrogate escape must follow.
-      if (!consume_literal("\\u")) fail("unpaired surrogate");
-      const unsigned lo = parse_hex4();
-      if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
-      cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
-    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
-      fail("unpaired surrogate");
+  // Slow path: unescape into the arena, starting from the clean prefix.
+  const std::size_t arena_start = arena_.size();
+  arena_.append(text_.data() + start, pos_ - start);
+  while (true) {
+    if (pos_ >= text_.size()) fail("unterminated string");
+    const char c = text_[pos_++];
+    if (c == '"') {
+      *out_off = static_cast<std::uint32_t>(arena_start);
+      *out_len = static_cast<std::uint32_t>(arena_.size() - arena_start);
+      *in_arena = true;
+      return;
     }
-    // UTF-8 encode.
-    if (cp < 0x80) {
-      out.push_back(static_cast<char>(cp));
-    } else if (cp < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else if (cp < 0x10000) {
-      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
-    } else {
-      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
-      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    if (static_cast<unsigned char>(c) < 0x20) {
+      --pos_;
+      fail("unescaped control character in string");
+    }
+    if (c != '\\') {
+      arena_.push_back(c);
+      continue;
+    }
+    if (pos_ >= text_.size()) fail("unterminated escape");
+    const char esc = text_[pos_++];
+    switch (esc) {
+      case '"': arena_.push_back('"'); break;
+      case '\\': arena_.push_back('\\'); break;
+      case '/': arena_.push_back('/'); break;
+      case 'b': arena_.push_back('\b'); break;
+      case 'f': arena_.push_back('\f'); break;
+      case 'n': arena_.push_back('\n'); break;
+      case 'r': arena_.push_back('\r'); break;
+      case 't': arena_.push_back('\t'); break;
+      case 'u': append_codepoint(parse_hex4_or_surrogate_pair()); break;
+      default:
+        pos_ -= 1;
+        fail("unknown escape");
     }
   }
+}
 
-  Value parse_array(int depth) {
-    expect('[');
-    Value arr = Value::array();
+unsigned Reader::parse_hex4() {
+  if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+  unsigned cp = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char c = text_[pos_++];
+    cp <<= 4;
+    if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+    else fail("bad hex digit in \\u escape");
+  }
+  return cp;
+}
+
+unsigned Reader::parse_hex4_or_surrogate_pair() {
+  unsigned cp = parse_hex4();
+  if (cp >= 0xD800 && cp <= 0xDBFF) {
+    // High surrogate: a low surrogate escape must follow.
+    if (!consume_literal("\\u")) fail("unpaired surrogate");
+    const unsigned lo = parse_hex4();
+    if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+    fail("unpaired surrogate");
+  }
+  return cp;
+}
+
+void Reader::append_codepoint(unsigned cp) {
+  // UTF-8 encode into the arena.
+  if (cp < 0x80) {
+    arena_.push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    arena_.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    arena_.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    arena_.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    arena_.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    arena_.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    arena_.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    arena_.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    arena_.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    arena_.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+Reader::Ref Reader::parse_array(int depth) {
+  expect('[');
+  const Ref arr = new_node(Value::Type::kArray);
+  skip_ws();
+  if (peek() == ']') {
+    ++pos_;
+    return arr;
+  }
+  while (true) {
     skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return arr;
-    }
-    while (true) {
-      skip_ws();
-      arr.push_back(parse_value(depth + 1));
-      skip_ws();
-      const char c = peek();
-      ++pos_;
-      if (c == ']') return arr;
-      if (c != ',') {
-        --pos_;
-        fail("expected ',' or ']'");
-      }
-    }
-  }
-
-  Value parse_object(int depth) {
-    expect('{');
-    Value obj = Value::object();
+    append_child(arr, parse_value(depth + 1));
     skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return obj;
-    }
-    while (true) {
-      skip_ws();
-      if (peek() != '"') fail("object keys must be strings");
-      std::string key = parse_string();
-      // Duplicate keys would make the canonical form ambiguous about what
-      // was requested; reject rather than silently keeping one.
-      if (obj.find(key) != nullptr) fail("duplicate object key '" + key + "'");
-      skip_ws();
-      expect(':');
-      skip_ws();
-      obj.set(std::move(key), parse_value(depth + 1));
-      skip_ws();
-      const char c = peek();
-      ++pos_;
-      if (c == '}') return obj;
-      if (c != ',') {
-        --pos_;
-        fail("expected ',' or '}'");
-      }
+    const char c = peek();
+    ++pos_;
+    if (c == ']') return arr;
+    if (c != ',') {
+      --pos_;
+      fail("expected ',' or ']'");
     }
   }
+}
 
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
+Reader::Ref Reader::parse_object(int depth) {
+  expect('{');
+  const Ref obj = new_node(Value::Type::kObject);
+  skip_ws();
+  if (peek() == '}') {
+    ++pos_;
+    return obj;
+  }
+  while (true) {
+    skip_ws();
+    if (peek() != '"') fail("object keys must be strings");
+    std::uint32_t key_off = 0, key_len = 0;
+    bool key_in_arena = false;
+    parse_string_payload(&key_off, &key_len, &key_in_arena);
+    const std::string_view k = resolve(key_off, key_len, key_in_arena);
+    // Duplicate keys would make the canonical form ambiguous about what
+    // was requested; reject rather than silently keeping one.
+    for (Ref c = node(obj).child; c != kNone; c = next(c)) {
+      if (key(c) == k) {
+        fail("duplicate object key '" + std::string(k) + "'");
+      }
+    }
+    skip_ws();
+    expect(':');
+    skip_ws();
+    const Ref member = parse_value(depth + 1);
+    Node& m = node(member);
+    m.key_off = key_off;
+    m.key_len = key_len;
+    m.key_in_arena = key_in_arena;
+    append_child(obj, member);
+    skip_ws();
+    const char c = peek();
+    ++pos_;
+    if (c == '}') return obj;
+    if (c != ',') {
+      --pos_;
+      fail("expected ',' or '}'");
+    }
+  }
+}
 
-}  // namespace
-
-Value Value::parse(const std::string& text) {
-  return Parser(text).parse_document();
+Value Value::parse(std::string_view text) {
+  Reader reader;
+  return reader.materialize(reader.parse(text));
 }
 
 std::uint64_t fnv1a64(std::string_view bytes) {

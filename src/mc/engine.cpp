@@ -1,58 +1,26 @@
 #include "mc/engine.h"
 
-#include "core/error.h"
-#include "core/thread_pool.h"
-
 namespace hpcarbon::mc {
 
-Rng substream(std::uint64_t seed, std::uint64_t index) {
-  // Two chained SplitMix64 finalizations: the first decorrelates the user
-  // seed (so seeds 1, 2, 3… do not yield adjacent stream bases), the
-  // second mixes the sample index into a full-avalanche 64-bit state. The
-  // Rng constructor then expands that state through its own SplitMix64,
-  // giving xoshiro256** a well-spread initial state per sample.
+std::uint64_t stream_base(std::uint64_t seed) {
+  // The first of substream's two chained SplitMix64 finalizations: it
+  // decorrelates the user seed (so seeds 1, 2, 3… do not yield adjacent
+  // stream bases) and depends only on the seed — batched runs compute it
+  // once for the whole sample set.
   SplitMix64 outer(seed);
-  SplitMix64 inner(outer.next() + index);
-  return Rng(inner.next());
+  return outer.next();
+}
+
+Rng substream(std::uint64_t seed, std::uint64_t index) {
+  // Second finalization: mixes the sample index into a full-avalanche
+  // 64-bit state. The Rng constructor then expands that state through its
+  // own SplitMix64, giving xoshiro256** a well-spread initial state per
+  // sample.
+  return substream_from_base(stream_base(seed), index);
 }
 
 Engine::Engine(SamplePlan plan) : plan_(plan) {
   HPC_REQUIRE(plan_.samples > 0, "sample plan needs at least one sample");
-}
-
-std::vector<double> Engine::run_samples(const SampleFn& fn) const {
-  std::vector<double> out(static_cast<std::size_t>(plan_.samples), 0.0);
-  ThreadPool& pool = plan_.pool != nullptr ? *plan_.pool : ThreadPool::global();
-  pool.parallel_for(0, out.size(), [&](std::size_t i) {
-    Rng rng = substream(plan_.seed, i);
-    out[i] = fn(i, rng);
-  });
-  return out;
-}
-
-Distribution Engine::run(const SampleFn& fn) const {
-  return Distribution(run_samples(fn));
-}
-
-std::vector<Distribution> Engine::run_multi(std::size_t outputs,
-                                            const MultiSampleFn& fn) const {
-  HPC_REQUIRE(outputs > 0, "run_multi needs at least one output");
-  const auto n = static_cast<std::size_t>(plan_.samples);
-  // Row-major per sample so each iteration touches one contiguous stripe.
-  std::vector<double> buffer(n * outputs, 0.0);
-  ThreadPool& pool = plan_.pool != nullptr ? *plan_.pool : ThreadPool::global();
-  pool.parallel_for(0, n, [&](std::size_t i) {
-    Rng rng = substream(plan_.seed, i);
-    fn(i, rng, std::span<double>(buffer.data() + i * outputs, outputs));
-  });
-  std::vector<Distribution> dists;
-  dists.reserve(outputs);
-  for (std::size_t k = 0; k < outputs; ++k) {
-    std::vector<double> column(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) column[i] = buffer[i * outputs + k];
-    dists.emplace_back(std::move(column));
-  }
-  return dists;
 }
 
 }  // namespace hpcarbon::mc

@@ -51,6 +51,21 @@ std::optional<std::string> ResultCache::get(std::uint64_t key,
   return it->second->value;
 }
 
+bool ResultCache::get_append(std::uint64_t key, std::string_view canonical,
+                             std::string& out) {
+  Shard& s = shard_of(key);
+  MutexLock lock(s.mu);
+  const auto it = s.index.find(key);
+  if (it == s.index.end() || it->second->canonical != canonical) {
+    ++s.misses;  // absent, or a 64-bit hash collision: never serve it
+    return false;
+  }
+  ++s.hits;
+  s.lru.splice(s.lru.begin(), s.lru, it->second);  // refresh recency
+  out += it->second->value;
+  return true;
+}
+
 void ResultCache::put(std::uint64_t key, std::string_view canonical,
                       std::string value) {
   const std::size_t cost = entry_cost(canonical, value);

@@ -62,6 +62,14 @@ class ResultCache {
   std::optional<std::string> get(std::uint64_t key,
                                  std::string_view canonical);
 
+  /// get(), appended: on a hit the cached value is appended to `out`
+  /// under the shard lock (no intermediate std::string) and true is
+  /// returned; on a miss `out` is untouched. The serve hot path embeds
+  /// the cached result mid-response this way, so a warm lookup copies
+  /// the bytes exactly once — into the response buffer.
+  bool get_append(std::uint64_t key, std::string_view canonical,
+                  std::string& out);
+
   /// Insert or refresh (a hash collision replaces the resident entry —
   /// latest canonical wins). Evicts least-recently-used entries of the
   /// shard until it fits its budget. A value whose own cost exceeds the

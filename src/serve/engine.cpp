@@ -227,28 +227,47 @@ json::Value evaluate_trace(const json::Value& params, TraceStore& traces) {
 // cache hit and a fresh evaluation emit byte-identical lines. Key order
 // is the sorted order dump(sort_keys) would produce.
 
-std::string success_response(const std::string& id, const std::string& op,
-                             const std::string& result) {
-  std::string out = "{";
-  if (!id.empty()) out += "\"id\":" + json::quote(id) + ",";
-  out += "\"ok\":true,\"op\":" + json::quote(op) + ",\"result\":" + result +
-         "}";
-  return out;
+/// Append the success-response text up to (and including) "result": — the
+/// caller appends the result document and the closing brace. Splitting
+/// here lets a cache hit stream the cached bytes straight into the
+/// response buffer (ResultCache::get_append).
+void success_prefix_to(std::string& out, const std::string& id,
+                       const std::string& op) {
+  out.push_back('{');
+  if (!id.empty()) {
+    out += "\"id\":";
+    json::quote_to(out, id);
+    out.push_back(',');
+  }
+  out += "\"ok\":true,\"op\":";
+  json::quote_to(out, op);
+  out += ",\"result\":";
+}
+
+void error_response_to(std::string& out, const std::string& id,
+                       const std::string& what) {
+  out += "{\"error\":";
+  json::quote_to(out, what);
+  if (!id.empty()) {
+    out += ",\"id\":";
+    json::quote_to(out, id);
+  }
+  out += ",\"ok\":false}";
 }
 
 std::string error_response(const std::string& id, const std::string& what) {
-  std::string out = "{\"error\":" + json::quote(what);
-  if (!id.empty()) out += ",\"id\":" + json::quote(id);
-  out += ",\"ok\":false}";
+  std::string out;
+  error_response_to(out, id, what);
   return out;
 }
 
 /// The id of a parsed request document, for error correlation on
 /// documents that fail validation; empty when there is no string id.
-std::string salvage_id(const json::Value& doc) {
-  if (doc.is_object()) {
-    if (const json::Value* id = doc.find("id"); id && id->is_string()) {
-      return id->as_string();
+std::string salvage_id(const json::Reader& reader, json::Reader::Ref doc) {
+  if (reader.is_object(doc)) {
+    if (const json::Reader::Ref id = reader.find(doc, "id");
+        id != json::Reader::kNone && reader.is_string(id)) {
+      return std::string(reader.as_string(id));
     }
   }
   return {};
@@ -264,45 +283,55 @@ struct Planned {
   std::string stats_id; // kStats
 };
 
-Planned plan_line(const std::string& line) {
+Planned plan_line(std::string_view line) {
+  // One reader per thread: node pool and unescape arena warm up once and
+  // every subsequent line parses with zero allocations. plan_line only
+  // runs on the thread that called handle_line/handle_batch (the pool
+  // fan-out evaluates already-planned queries), and nothing below keeps
+  // views into the reader past the next parse — Planned owns its strings.
+  thread_local json::Reader reader;
+  constexpr json::Reader::Ref kNone = json::Reader::kNone;
   Planned p;
-  json::Value doc;
+  json::Reader::Ref doc = kNone;
   try {
-    doc = json::Value::parse(line);
+    doc = reader.parse(line);
   } catch (const Error& e) {
     p.response = error_response({}, e.what());
     return p;
   }
-  if (doc.is_object()) {
-    if (const json::Value* op = doc.find("op");
-        op != nullptr && op->is_string() && op->as_string() == "stats") {
+  if (reader.is_object(doc)) {
+    if (const json::Reader::Ref op = reader.find(doc, "op");
+        op != kNone && reader.is_string(op) &&
+        reader.as_string(op) == "stats") {
       // The control request is validated as strictly as any family:
       // unknown fields and a non-string id are errors, not defaults.
-      for (const auto& [k, v] : doc.members()) {
+      for (json::Reader::Ref f = reader.first_child(doc); f != kNone;
+           f = reader.next(f)) {
+        const std::string_view k = reader.key(f);
         if (k != "op" && k != "id") {
           p.response = error_response(
-              salvage_id(doc),
-              "request has unknown top-level field '" + k +
+              salvage_id(reader, doc),
+              "request has unknown top-level field '" + std::string(k) +
                   "' (stats takes only op and id)");
           return p;
         }
       }
-      if (const json::Value* id = doc.find("id")) {
-        if (!id->is_string()) {
+      if (const json::Reader::Ref id = reader.find(doc, "id"); id != kNone) {
+        if (!reader.is_string(id)) {
           p.response = error_response({}, "request 'id' must be a string");
           return p;
         }
-        p.stats_id = id->as_string();
+        p.stats_id = reader.as_string(id);
       }
       p.kind = Planned::Kind::kStats;
       return p;
     }
   }
   try {
-    p.q = parse_query(doc);
+    p.q = parse_query(reader, doc);
     p.kind = Planned::Kind::kQuery;
   } catch (const Error& e) {
-    p.response = error_response(salvage_id(doc), e.what());
+    p.response = error_response(salvage_id(reader, doc), e.what());
   }
   return p;
 }
@@ -310,11 +339,14 @@ Planned plan_line(const std::string& line) {
 }  // namespace
 
 json::Value evaluate(const Query& q, TraceStore& traces) {
-  if (q.op == "embodied") return evaluate_embodied(q.params);
-  if (q.op == "lifetime") return evaluate_lifetime(q.params, traces);
-  if (q.op == "breakeven") return evaluate_breakeven(q.params);
-  if (q.op == "sched") return evaluate_sched(q.params, traces);
-  if (q.op == "trace") return evaluate_trace(q.params, traces);
+  // Materialized lazily from the canonical text: only cache misses (and
+  // direct evaluate callers) pay for a params document.
+  const json::Value params = q.params();
+  if (q.op == "embodied") return evaluate_embodied(params);
+  if (q.op == "lifetime") return evaluate_lifetime(params, traces);
+  if (q.op == "breakeven") return evaluate_breakeven(params);
+  if (q.op == "sched") return evaluate_sched(params, traces);
+  if (q.op == "trace") return evaluate_trace(params, traces);
   throw Error("unknown op '" + q.op + "'");
 }
 
@@ -347,22 +379,31 @@ std::string Engine::stats_response(const std::string& id) const {
   out.set("trace_hits", json::Value::number(static_cast<double>(ts.hits())));
   out.set("trace_misses",
           json::Value::number(static_cast<double>(ts.misses())));
-  return success_response(id, "stats", out.dump(/*sort_keys=*/true));
+  std::string response;
+  success_prefix_to(response, id, "stats");
+  out.dump_to(response, /*sort_keys=*/true);
+  response.push_back('}');
+  return response;
 }
 
 namespace {
 
-std::string answer_query(ResultCache& cache, TraceStore& traces,
-                         const Query& q) {
-  if (auto cached = cache.get(q.key, q.canonical)) {
-    return success_response(q.id, q.op, *cached);
+void answer_query_to(ResultCache& cache, TraceStore& traces, const Query& q,
+                     std::string& out) {
+  const std::size_t mark = out.size();
+  success_prefix_to(out, q.id, q.op);
+  if (cache.get_append(q.key, q.canonical, out)) {
+    out.push_back('}');
+    return;
   }
   try {
     const std::string result = evaluate(q, traces).dump(/*sort_keys=*/true);
     cache.put(q.key, q.canonical, result);
-    return success_response(q.id, q.op, result);
+    out += result;
+    out.push_back('}');
   } catch (const Error& e) {
-    return error_response(q.id, e.what());  // runtime failures not cached
+    out.resize(mark);  // drop the success prefix
+    error_response_to(out, q.id, e.what());  // runtime failures not cached
   }
 }
 
@@ -384,10 +425,12 @@ void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
       follower[i - begin] = true;  // answered from the leader's fill below
       continue;
     }
-    if (auto cached = cache.get(p.q.key, p.q.canonical)) {
-      responses[i] = success_response(p.q.id, p.q.op, *cached);
+    success_prefix_to(responses[i], p.q.id, p.q.op);
+    if (cache.get_append(p.q.key, p.q.canonical, responses[i])) {
+      responses[i].push_back('}');
       continue;
     }
+    responses[i].clear();  // miss: the leader fan-out rebuilds the line
     first_of[p.q.key] = i;
     leaders.push_back(i);
   }
@@ -398,12 +441,15 @@ void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
   // deterministic per canonical query).
   pool.parallel_for(0, leaders.size(), [&](std::size_t k) {
     const Query& q = plan[leaders[k]].q;
+    std::string& out = responses[leaders[k]];
     try {
       const std::string result = evaluate(q, traces).dump(/*sort_keys=*/true);
       cache.put(q.key, q.canonical, result);
-      responses[leaders[k]] = success_response(q.id, q.op, result);
+      success_prefix_to(out, q.id, q.op);
+      out += result;
+      out.push_back('}');
     } catch (const Error& e) {
-      responses[leaders[k]] = error_response(q.id, e.what());
+      error_response_to(out, q.id, e.what());
     }
   });
 
@@ -417,24 +463,31 @@ void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
   // totals timing-dependent — see the handle_batch contract.)
   for (std::size_t i = begin; i < end; ++i) {
     if (!follower[i - begin]) continue;
-    const Query& q = plan[i].q;
-    responses[i] = answer_query(cache, traces, q);
+    answer_query_to(cache, traces, plan[i].q, responses[i]);
   }
 }
 
 }  // namespace
 
-std::string Engine::handle_line(const std::string& line) {
+std::string Engine::handle_line(std::string_view line) {
+  std::string out;
+  handle_line_to(line, out);
+  return out;
+}
+
+void Engine::handle_line_to(std::string_view line, std::string& out) {
   Planned p = plan_line(line);
   switch (p.kind) {
     case Planned::Kind::kError:
-      return p.response;
+      out += p.response;
+      return;
     case Planned::Kind::kStats:
-      return stats_response(p.stats_id);
+      out += stats_response(p.stats_id);
+      return;
     case Planned::Kind::kQuery:
-      return answer_query(cache_, traces(), p.q);
+      answer_query_to(cache_, traces(), p.q, out);
+      return;
   }
-  return p.response;  // unreachable
 }
 
 std::vector<std::string> Engine::handle_batch(

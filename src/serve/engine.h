@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "serve/cache.h"
@@ -62,7 +63,13 @@ class Engine {
   /// One request line -> one response line (no trailing newline). Invalid
   /// requests yield ok:false responses, never throws. The {"op":"stats"}
   /// control request answers cache counters and is itself never cached.
-  std::string handle_line(const std::string& line);
+  std::string handle_line(std::string_view line);
+
+  /// handle_line, appended to a caller-owned buffer (identical bytes, no
+  /// return-value string). The daemon loop and the load bench reuse one
+  /// buffer across lines, so a warm request allocates nothing on this
+  /// side of the cache.
+  void handle_line_to(std::string_view line, std::string& out);
 
   /// Answer a whole batch; responses to query requests are parallel to
   /// `lines` and byte-identical to feeding the lines through handle_line

@@ -18,38 +18,45 @@ namespace {
 /// would canonicalize lossily.
 constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
 
-/// Strict, consuming view over a request's params object. Every getter
-/// validates its field, records it as consumed, and writes the normalized
-/// value (default filled, name canonicalized) into the normalized object;
-/// finish() rejects any field no getter claimed.
+/// Strict, consuming view over a request's params object (a json::Reader
+/// ref). Every getter validates its field, records it as consumed, and
+/// emits the normalized value (default filled, name canonicalized) as a
+/// pre-dumped canonical fragment; finish() rejects any field no getter
+/// claimed. canonical_params() assembles the sorted {"k":v,...} object
+/// text directly — the fragments byte-match what Value::dump(sort_keys)
+/// of the equivalent document would produce, so canonical keys (and every
+/// cached entry) are unchanged by the zero-copy rework.
 class ParamReader {
  public:
-  ParamReader(const json::Value* in, std::string op) : in_(in),
-      op_(std::move(op)), out_(json::Value::object()) {}
+  using Ref = json::Reader::Ref;
+  static constexpr Ref kNone = json::Reader::kNone;
+
+  ParamReader(const json::Reader& reader, Ref params, std::string_view op)
+      : reader_(reader), params_(params), op_(op) {}
 
   bool has(const char* key) const {
-    return in_ != nullptr && in_->find(key) != nullptr;
+    return params_ != kNone && reader_.find(params_, key) != kNone;
   }
 
   double number(const char* key, double def, double lo, double hi) {
     double v = def;
-    if (const json::Value* f = claim(key)) {
-      if (!f->is_number()) fail(key, "must be a number");
-      v = f->as_number();
+    if (const Ref f = claim(key); f != kNone) {
+      if (!reader_.is_number(f)) fail(key, "must be a number");
+      v = reader_.as_number(f);
     }
     if (!(v >= lo && v <= hi)) {
       fail(key, "must be in [" + json::dump_number(lo) + ", " +
                     json::dump_number(hi) + "]");
     }
-    out_.set(key, json::Value::number(v));
+    emit_number(key, v);
     return v;
   }
 
   long integer(const char* key, long def, long lo, long hi) {
     double v = static_cast<double>(def);
-    if (const json::Value* f = claim(key)) {
-      if (!f->is_number()) fail(key, "must be an integer");
-      v = f->as_number();
+    if (const Ref f = claim(key); f != kNone) {
+      if (!reader_.is_number(f)) fail(key, "must be an integer");
+      v = reader_.as_number(f);
       if (v != std::floor(v) || std::abs(v) > kMaxExactInt) {
         fail(key, "must be an integer");
       }
@@ -59,44 +66,51 @@ class ParamReader {
       fail(key, "must be in [" + std::to_string(lo) + ", " +
                     std::to_string(hi) + "]");
     }
-    out_.set(key, json::Value::number(static_cast<double>(n)));
+    emit_number(key, static_cast<double>(n));
     return n;
   }
 
   std::string str(const char* key, const char* def) {
-    std::string v = def;
-    if (const json::Value* f = claim(key)) {
-      if (!f->is_string()) fail(key, "must be a string");
-      v = f->as_string();
+    std::string_view v = def;
+    if (const Ref f = claim(key); f != kNone) {
+      if (!reader_.is_string(f)) fail(key, "must be a string");
+      v = reader_.as_string(f);
     }
-    out_.set(key, json::Value::string(v));
-    return v;
+    emit_string(key, v);
+    return std::string(v);
   }
 
   std::string required_str(const char* key) {
-    const json::Value* f = claim(key);
-    if (f == nullptr) fail(key, "is required");
-    if (!f->is_string()) fail(key, "must be a string");
-    out_.set(key, json::Value::string(f->as_string()));
-    return f->as_string();
+    const Ref f = claim(key);
+    if (f == kNone) fail(key, "is required");
+    if (!reader_.is_string(f)) fail(key, "must be a string");
+    const std::string_view v = reader_.as_string(f);
+    emit_string(key, v);
+    return std::string(v);
   }
 
   /// Optional string; absent fields stay absent in the normalized params
   /// (no default exists — e.g. trace_csv paths).
   std::string optional_str(const char* key) {
-    const json::Value* f = claim(key);
-    if (f == nullptr) return {};
-    if (!f->is_string() || f->as_string().empty()) {
+    const Ref f = claim(key);
+    if (f == kNone) return {};
+    if (!reader_.is_string(f) || reader_.as_string(f).empty()) {
       fail(key, "must be a non-empty string");
     }
-    out_.set(key, json::Value::string(f->as_string()));
-    return f->as_string();
+    const std::string_view v = reader_.as_string(f);
+    emit_string(key, v);
+    return std::string(v);
   }
 
   /// Replace the normalized value of an already-claimed field (name
   /// canonicalization: short policy names, etc.).
   void rewrite(const char* key, std::string canonical_value) {
-    out_.set(key, json::Value::string(std::move(canonical_value)));
+    for (auto& [k, frag] : fields_) {
+      if (k == key) {
+        frag = json::quote(canonical_value);
+        return;
+      }
+    }
   }
 
   std::vector<std::string> string_array(const char* key,
@@ -104,49 +118,85 @@ class ParamReader {
                                         std::size_t min_len,
                                         std::size_t max_len) {
     std::vector<std::string> v = std::move(def);
-    if (const json::Value* f = claim(key)) {
-      if (!f->is_array()) fail(key, "must be an array of strings");
+    if (const Ref f = claim(key); f != kNone) {
+      if (!reader_.is_array(f)) fail(key, "must be an array of strings");
       v.clear();
-      for (const auto& item : f->items()) {
-        if (!item.is_string()) fail(key, "must be an array of strings");
-        v.push_back(item.as_string());
+      for (Ref item = reader_.first_child(f); item != kNone;
+           item = reader_.next(item)) {
+        if (!reader_.is_string(item)) fail(key, "must be an array of strings");
+        v.emplace_back(reader_.as_string(item));
       }
     }
     if (v.size() < min_len || v.size() > max_len) {
       fail(key, "must have between " + std::to_string(min_len) + " and " +
                     std::to_string(max_len) + " entries");
     }
-    json::Value arr = json::Value::array();
-    for (const auto& s : v) arr.push_back(json::Value::string(s));
-    out_.set(key, std::move(arr));
+    std::string frag = "[";
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (i != 0) frag.push_back(',');
+      json::quote_to(frag, v[i]);
+    }
+    frag.push_back(']');
+    fields_.emplace_back(key, std::move(frag));
     return v;
   }
 
   [[noreturn]] void fail(const char* key, const std::string& what) const {
-    throw Error("query '" + op_ + "': parameter '" + key + "' " + what);
+    throw Error("query '" + std::string(op_) + "': parameter '" + key + "' " +
+                what);
   }
 
   void finish() {
-    if (in_ == nullptr) return;
-    for (const auto& [k, v] : in_->members()) {
-      if (consumed_.count(k) == 0) {
-        throw Error("query '" + op_ + "': unknown parameter '" + k + "'");
+    if (params_ == kNone) return;
+    for (Ref f = reader_.first_child(params_); f != kNone;
+         f = reader_.next(f)) {
+      const std::string_view k = reader_.key(f);
+      if (std::find(consumed_.begin(), consumed_.end(), k) ==
+          consumed_.end()) {
+        throw Error("query '" + std::string(op_) + "': unknown parameter '" +
+                    std::string(k) + "'");
       }
     }
   }
 
-  json::Value take() { return std::move(out_); }
-
- private:
-  const json::Value* claim(const char* key) {
-    consumed_.insert(key);
-    return in_ == nullptr ? nullptr : in_->find(key);
+  /// The sorted-canonical params object text ({"a":1,"b":"x"}), appended.
+  void canonical_params_to(std::string& out) {
+    std::sort(fields_.begin(), fields_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out.push_back('{');
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      if (i != 0) out.push_back(',');
+      json::quote_to(out, fields_[i].first);
+      out.push_back(':');
+      out += fields_[i].second;
+    }
+    out.push_back('}');
   }
 
-  const json::Value* in_;
-  std::string op_;
-  std::set<std::string> consumed_;
-  json::Value out_;
+ private:
+  Ref claim(const char* key) {
+    consumed_.push_back(key);
+    return params_ == kNone ? kNone : reader_.find(params_, key);
+  }
+
+  void emit_number(const char* key, double v) {
+    std::string frag;
+    json::dump_number_to(frag, v);
+    fields_.emplace_back(key, std::move(frag));
+  }
+
+  void emit_string(const char* key, std::string_view v) {
+    fields_.emplace_back(key, json::quote(v));
+  }
+
+  const json::Reader& reader_;
+  Ref params_;
+  std::string_view op_;
+  /// Getter keys are string literals with static storage, so views are
+  /// safe to hold.
+  std::vector<std::string_view> consumed_;
+  /// (key, dumped fragment) in claim order; sorted once at assembly.
+  std::vector<std::pair<std::string_view, std::string>> fields_;
 };
 
 const std::vector<std::pair<const char*, embodied::PartId>>& slug_table() {
@@ -300,36 +350,47 @@ embodied::PartId part_from_slug(const std::string& slug) {
   throw Error("unknown catalog part slug '" + slug + "'");
 }
 
-Query parse_query(const json::Value& doc) {
-  if (!doc.is_object()) throw Error("request must be a JSON object");
-  for (const auto& [k, v] : doc.members()) {
+json::Value Query::params() const {
+  json::Reader reader;
+  const json::Reader::Ref root = reader.parse(canonical);
+  return reader.materialize(reader.find(root, "params"));
+}
+
+Query parse_query(const json::Reader& reader, json::Reader::Ref doc) {
+  using Ref = json::Reader::Ref;
+  constexpr Ref kNone = json::Reader::kNone;
+
+  if (!reader.is_object(doc)) throw Error("request must be a JSON object");
+  for (Ref f = reader.first_child(doc); f != kNone; f = reader.next(f)) {
+    const std::string_view k = reader.key(f);
     if (k != "op" && k != "params" && k != "id") {
-      throw Error("request has unknown top-level field '" + k + "'");
+      throw Error("request has unknown top-level field '" + std::string(k) +
+                  "'");
     }
   }
-  const json::Value* op_field = doc.find("op");
-  if (op_field == nullptr || !op_field->is_string()) {
+  const Ref op_field = reader.find(doc, "op");
+  if (op_field == kNone || !reader.is_string(op_field)) {
     throw Error("request needs a string 'op' field");
   }
   Query q;
-  q.op = op_field->as_string();
+  q.op = reader.as_string(op_field);
 
-  if (const json::Value* id = doc.find("id")) {
-    if (!id->is_string()) throw Error("request 'id' must be a string");
-    q.id = id->as_string();
+  if (const Ref id = reader.find(doc, "id"); id != kNone) {
+    if (!reader.is_string(id)) throw Error("request 'id' must be a string");
+    q.id = reader.as_string(id);
   }
 
-  const json::Value* params = doc.find("params");
-  if (params != nullptr && !params->is_object()) {
+  const Ref params = reader.find(doc, "params");
+  if (params != kNone && !reader.is_object(params)) {
     throw Error("request 'params' must be an object");
   }
 
-  ParamReader reader(params, q.op);
-  if (q.op == "embodied") normalize_embodied(reader);
-  else if (q.op == "lifetime") normalize_lifetime(reader);
-  else if (q.op == "breakeven") normalize_breakeven(reader);
-  else if (q.op == "sched") normalize_sched(reader);
-  else if (q.op == "trace") normalize_trace(reader);
+  ParamReader r(reader, params, q.op);
+  if (q.op == "embodied") normalize_embodied(r);
+  else if (q.op == "lifetime") normalize_lifetime(r);
+  else if (q.op == "breakeven") normalize_breakeven(r);
+  else if (q.op == "sched") normalize_sched(r);
+  else if (q.op == "trace") normalize_trace(r);
   else {
     std::string known;
     for (const auto& f : query_families()) {
@@ -337,19 +398,25 @@ Query parse_query(const json::Value& doc) {
     }
     throw Error("unknown op '" + q.op + "' (known: " + known + ")");
   }
-  reader.finish();
-  q.params = reader.take();
+  r.finish();
 
-  json::Value canonical = json::Value::object();
-  canonical.set("op", json::Value::string(q.op));
-  canonical.set("params", q.params);
-  q.canonical = canonical.dump(/*sort_keys=*/true);
+  // The canonical text is assembled directly: "op" sorts before "params",
+  // and the params fragments are already dump-identical, so these are the
+  // exact bytes Value::dump(sort_keys=true) of the normalized document
+  // produced before the zero-copy rework (pinned by the golden tests).
+  q.canonical.reserve(32 + q.op.size());
+  q.canonical += "{\"op\":";
+  json::quote_to(q.canonical, q.op);
+  q.canonical += ",\"params\":";
+  r.canonical_params_to(q.canonical);
+  q.canonical.push_back('}');
   q.key = json::fnv1a64(q.canonical);
   return q;
 }
 
-Query parse_query_line(const std::string& line) {
-  return parse_query(json::Value::parse(line));
+Query parse_query_line(std::string_view line) {
+  json::Reader reader;
+  return parse_query(reader, reader.parse(line));
 }
 
 }  // namespace hpcarbon::serve

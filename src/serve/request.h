@@ -35,8 +35,6 @@ namespace hpcarbon::serve {
 struct Query {
   /// Family name ("embodied", "lifetime", "breakeven", "sched", "trace").
   std::string op;
-  /// Normalized parameters: defaults filled, names canonical, validated.
-  json::Value params;
   /// Client echo tag (response correlation); excluded from the canonical
   /// key — two requests differing only in id are the same question.
   std::string id;
@@ -44,6 +42,12 @@ struct Query {
   std::string canonical;
   /// FNV-1a/64 of `canonical`.
   std::uint64_t key = 0;
+
+  /// Normalized parameters (defaults filled, names canonical, validated),
+  /// materialized on demand from `canonical`. parse_query builds the
+  /// canonical text directly — the hot path (cache hits) never pays for a
+  /// params document; evaluation on a cache miss materializes one here.
+  json::Value params() const;
 };
 
 /// The five family names, in documentation order.
@@ -55,10 +59,11 @@ std::vector<std::string> part_slugs();
 /// Slug -> catalog id; throws hpcarbon::Error for unknown slugs.
 embodied::PartId part_from_slug(const std::string& slug);
 
-/// Parse + validate one request document. Throws hpcarbon::Error with a
+/// Parse + validate one request document (a json::Reader ref — the
+/// zero-copy form the serve hot path uses). Throws hpcarbon::Error with a
 /// message naming the op and parameter on any violation.
-Query parse_query(const json::Value& doc);
-/// json::Value::parse + parse_query.
-Query parse_query_line(const std::string& line);
+Query parse_query(const json::Reader& reader, json::Reader::Ref doc);
+/// json::Reader::parse + parse_query over a private reader.
+Query parse_query_line(std::string_view line);
 
 }  // namespace hpcarbon::serve

@@ -10,7 +10,12 @@
 #      (and friends) may appear only under src/core/ — everywhere else
 #      use hpcarbon::AnnotatedMutex + MutexLock from
 #      core/thread_annotations.h.
-#   3. clang-tidy (see .clang-tidy for the curated check set), diffed
+#   3. Allocation lint (grep): the serve hot path and the JSON core are
+#      allocation-disciplined (arena/pooled nodes, reusable buffers) —
+#      raw `malloc`/`calloc`/`realloc` and array `new[...]` in src/serve
+#      or src/core/json.* are diffed against tools/alloc_baseline.txt,
+#      so only NEW raw allocations fail (same ratchet as clang-tidy).
+#   4. clang-tidy (see .clang-tidy for the curated check set), diffed
 #      against tools/lint_baseline.txt: only NEW (file, check) pairs
 #      fail, so the gate ratchets without demanding a big-bang cleanup.
 #      Skipped with a notice when clang-tidy is not installed (the
@@ -81,17 +86,69 @@ mutex_lint() {
   echo "naked-mutex lint OK"
 }
 
+# --- 3. allocation lint (hot-path ratchet) ----------------------------------
+
+ALLOC_BASELINE="$ROOT/tools/alloc_baseline.txt"
+
+# The allocation-disciplined surfaces: request/response hot path and the
+# JSON core it leans on.
+alloc_lint_paths() {
+  echo "$ROOT/src/serve"
+  echo "$ROOT/src/core/json.h"
+  echo "$ROOT/src/core/json.cpp"
+}
+
+# Normalized "<relative file> [<pattern>]" finding IDs, sorted and unique
+# (line numbers churn with every edit and would break the ratchet).
+alloc_findings() {
+  {
+    grep -rnE --include='*.h' --include='*.cpp' \
+      '(^|[^[:alnum:]_])(malloc|calloc|realloc)[[:space:]]*\(' \
+      $(alloc_lint_paths) 2>/dev/null | \
+      sed -E "s|^$ROOT/||" | sed -E 's|^([^:]+):.*$|\1 [raw-alloc]|' || true
+    grep -rnE --include='*.h' --include='*.cpp' \
+      '(^|[^[:alnum:]_])new[[:space:]]+[A-Za-z_][A-Za-z0-9_:<>, ]*\[' \
+      $(alloc_lint_paths) 2>/dev/null | \
+      sed -E "s|^$ROOT/||" | sed -E 's|^([^:]+):.*$|\1 [new-array]|' || true
+  } | sort -u
+}
+
+alloc_lint() {
+  local current known new
+  current="$(mktemp)"
+  known="$(mktemp)"
+  alloc_findings >"$current"
+  grep -vE '^\s*(#|$)' "$ALLOC_BASELINE" 2>/dev/null | sort -u >"$known" || true
+  new="$(comm -23 "$current" "$known")"
+  if [[ -n "$new" ]]; then
+    echo "allocation lint FAILED — new raw allocations in the serve/json hot path:" >&2
+    echo "$new" >&2
+    echo "(src/serve and src/core/json.* stay arena/buffer-disciplined; use the pooled parser, dump_to buffers, or std::vector — or grandfather deliberately in tools/alloc_baseline.txt)" >&2
+    rm -f "$current" "$known"
+    return 1
+  fi
+  echo "allocation lint OK ($(wc -l <"$current") finding(s), all baselined)"
+  rm -f "$current" "$known"
+}
+
 # --- negative self-test -----------------------------------------------------
 
 self_test() {
   local seeded="$ROOT/src/lint_selftest_seeded_violation.cpp"
-  trap 'rm -f "$seeded"' RETURN
+  local seeded_alloc="$ROOT/src/serve/lint_selftest_seeded_violation.cpp"
+  trap 'rm -f "$seeded" "$seeded_alloc"' RETURN
   cat > "$seeded" <<'EOF'
 // Transient file written by tools/lint.sh --self-test; never compiled.
 #include <ctime>
 #include <mutex>
 static std::mutex selftest_naked_mutex;
 long selftest_clock() { return static_cast<long>(time(nullptr)); }
+EOF
+  cat > "$seeded_alloc" <<'EOF'
+// Transient file written by tools/lint.sh --self-test; never compiled.
+#include <cstdlib>
+void* selftest_raw_alloc() { return malloc(64); }
+char* selftest_array_new() { return new char[64]; }
 EOF
   if determinism_lint >/dev/null 2>&1; then
     echo "lint self-test FAILED: determinism lint accepted a seeded time(nullptr)" >&2
@@ -101,7 +158,11 @@ EOF
     echo "lint self-test FAILED: mutex lint accepted a seeded naked std::mutex" >&2
     return 1
   fi
-  rm -f "$seeded"
+  if alloc_lint >/dev/null 2>&1; then
+    echo "lint self-test FAILED: allocation lint accepted seeded malloc/new[] in src/serve" >&2
+    return 1
+  fi
+  rm -f "$seeded" "$seeded_alloc"
   echo "lint self-test OK — the gate rejects seeded violations"
 }
 
@@ -200,6 +261,7 @@ rc=0
 if [[ "$MODE" != tidy ]]; then
   determinism_lint || rc=1
   mutex_lint || rc=1
+  alloc_lint || rc=1
 fi
 if [[ "$MODE" != scripts ]]; then
   tidy_lint || rc=1
