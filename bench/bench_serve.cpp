@@ -30,8 +30,8 @@
 #include <vector>
 
 #include "bench_common.h"
-#include "core/rng.h"
 #include "core/table.h"
+#include "net/loadgen.h"
 #include "core/thread_pool.h"
 #include "grid/presets.h"
 #include "grid/simulator.h"
@@ -47,12 +47,11 @@ namespace {
 
 using clock_type = std::chrono::steady_clock;
 
-// Pinned phase seeds: the request stream is part of the benchmark's
-// identity. Changing either invalidates cross-row comparisons, so treat
-// them like a file format version.
-constexpr std::uint64_t kShuffleSeed = 7;
-constexpr std::uint64_t kMixSeed = 11;
-constexpr std::size_t kFullRequests = 2000;
+// The pinned mix seeds live in net/loadgen.h now, shared with the
+// netload bench so both trajectories replay the same stream. zipf_mix is
+// prefix-stable, so growing the full replay (2000 -> 10000 requests, for
+// a meaningful p999) extended the old stream instead of re-rolling it.
+constexpr std::size_t kFullRequests = 10000;
 constexpr std::size_t kSmokeRequests = 300;
 
 double ms_since(clock_type::time_point t0) {
@@ -60,71 +59,11 @@ double ms_since(clock_type::time_point t0) {
       .count();
 }
 
-/// The distinct-query universe: one spelling per question, spanning all
-/// five families (cheap embodied/trace lookups through expensive
-/// scheduler runs — the cost spread a shared service actually sees).
-std::vector<std::string> query_universe() {
-  std::vector<std::string> q;
-  for (const auto& slug : serve::part_slugs()) {
-    q.push_back(R"({"op":"embodied","params":{"part":")" + slug + "\"}}");
-  }
-  for (const auto& code : grid::codes_of(grid::all_regions())) {
-    q.push_back(R"({"op":"trace","params":{"region":")" + code + "\"}}");
-    q.push_back(R"({"op":"trace","params":{"region":")" + code +
-                R"(","window_start_hour":3624,"window_hours":168}})");
-  }
-  for (const char* node : {"p100", "v100", "a100"}) {
-    for (const char* region : {"ESO", "CISO", "ERCOT"}) {
-      q.push_back(std::string(R"({"op":"lifetime","params":{"node":")") +
-                  node + R"(","region":")" + region + "\"}}");
-    }
-  }
-  q.push_back(R"({"op":"lifetime","params":{"node":"v100","samples":1024}})");
-  for (const char* decline : {"0", "0.03", "0.07"}) {
-    q.push_back(std::string(R"({"op":"breakeven","params":{"annual_decline":)") +
-                decline + "}}");
-  }
-  // Default 28-day horizon at 2.5 jobs/h: the `hpcarbon run` scenario a
-  // dashboard would poll, and the expensive tail of the mix.
-  for (const char* policy : {"greedy", "net-benefit", "forecast-nb"}) {
-    q.push_back(std::string(R"({"op":"sched","params":{"policy":")") + policy +
-                "\"}}");
-  }
-  return q;
-}
-
-/// Zipf(s=1.1) ranks over the shuffled universe: rank 1 dominates, the
-/// tail still appears. Returns `count` request lines, fully determined by
-/// the two pinned seeds.
-std::vector<std::string> pinned_mix(std::size_t count) {
-  std::vector<std::string> universe = query_universe();
-  Rng shuffle_rng(kShuffleSeed);
-  for (std::size_t i = universe.size(); i > 1; --i) {
-    std::swap(universe[i - 1],
-              universe[static_cast<std::size_t>(shuffle_rng.uniform_int(
-                  0, static_cast<std::int64_t>(i) - 1))]);
-  }
-  std::vector<double> cdf(universe.size());
-  double total = 0;
-  for (std::size_t r = 0; r < universe.size(); ++r) {
-    total += 1.0 / std::pow(static_cast<double>(r + 1), 1.1);
-    cdf[r] = total;
-  }
-  Rng mix_rng(kMixSeed);
-  std::vector<std::string> mix;
-  mix.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    const double u = mix_rng.uniform(0.0, total);
-    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
-    mix.push_back(universe[static_cast<std::size_t>(it - cdf.begin())]);
-  }
-  return mix;
-}
-
 struct PassResult {
   double total_ms = 0;
   double p50_us = 0;
   double p99_us = 0;
+  double p999_us = 0;
   serve::CacheStats stats;
 };
 
@@ -151,6 +90,7 @@ PassResult replay(serve::Engine& engine, const std::vector<std::string>& mix) {
   std::sort(latencies_us.begin(), latencies_us.end());
   res.p50_us = latencies_us[latencies_us.size() / 2];
   res.p99_us = latencies_us[latencies_us.size() * 99 / 100];
+  res.p999_us = net::percentile_sorted(latencies_us, 0.999);
   res.stats = engine.cache_stats();
   res.stats.hits -= before.hits;
   res.stats.misses -= before.misses;
@@ -180,10 +120,10 @@ int tool_main(int argc, char** argv) {
 
   bench::print_banner(
       "serve-load: Zipf query mix, cold vs warm cache (target >= 10x)");
-  const auto mix = pinned_mix(requests);
-  std::cout << query_universe().size() << " distinct queries, " << mix.size()
-            << " Zipf(1.1)-skewed requests (shuffle seed " << kShuffleSeed
-            << ", mix seed " << kMixSeed << ")\n";
+  const auto mix = net::zipf_mix(requests);
+  std::cout << net::query_universe().size() << " distinct queries, "
+            << mix.size() << " Zipf(1.1)-skewed requests (shuffle seed "
+            << net::kShuffleSeed << ", mix seed " << net::kMixSeed << ")\n";
 
   serve::ServeOptions opts;
   opts.cache_bytes = 4u << 20;
@@ -265,6 +205,10 @@ int tool_main(int argc, char** argv) {
   report.metric("warm_p50_us", warm.p50_us, "us", Direction::kLowerIsBetter,
                 /*pinned=*/true);
   report.metric("warm_p99_us", warm.p99_us, "us", Direction::kLowerIsBetter);
+  // Pinned tail: the p999 regression gate (10000 warm samples -> the
+  // order statistic averages ~10 tail events, stable enough to pin).
+  report.metric("warm_p999_us", warm.p999_us, "us", Direction::kLowerIsBetter,
+                /*pinned=*/true);
   report.metric("warm_hit_pct",
                 100.0 * static_cast<double>(warm.stats.hits) /
                     static_cast<double>(warm.stats.hits + warm.stats.misses),

@@ -73,6 +73,10 @@ int usage(std::ostream& out, int exit_code) {
          "stdin/stdout\n"
          "      [--cache-mb M] [--shards N] [--threads N]  (see README "
          "\"Query API\")\n"
+         "      [--listen HOST:PORT] [--unix PATH]  epoll socket daemon "
+         "instead of a pipe\n"
+         "      [--workers N] [--max-conns N] [--max-inflight N] "
+         "[--idle-timeout S]\n"
          "  bench <name> [args...]       run one figure/table/ablation "
          "bench\n"
          "  example <name> [args...]     run one example\n"

@@ -9,7 +9,10 @@
 #include "core/csv.h"
 #include "core/error.h"
 #include "core/thread_pool.h"
+#include "net/framing.h"
+#include "net/server.h"
 #include "serve/engine.h"
+#include "serve/limits.h"
 
 namespace hpcarbon::cli {
 
@@ -20,30 +23,41 @@ struct FrontEndOptions {
   std::string input_path;  // batch only; "-" reads stdin
   std::string out_path;    // batch only; empty writes stdout
   std::size_t threads = 0;
+  // Socket mode (serve only): active when listen or unix_path is set.
+  std::string listen;     // --listen HOST:PORT
+  std::string unix_path;  // --unix PATH
+  std::size_t workers = net::ServerOptions::default_workers();
+  std::size_t max_conns = net::ServerOptions{}.max_conns;
+  std::size_t max_inflight = net::ServerOptions{}.max_inflight;
+  double idle_timeout_s = net::ServerOptions{}.idle_timeout_s;
 };
 
+std::string next_value(const char* flag, int argc, char** argv, int& i) {
+  if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
+  return argv[++i];
+}
+
+std::size_t parse_count(const char* flag, const std::string& v, long min) {
+  std::size_t consumed = 0;
+  long n = 0;
+  try {
+    n = std::stol(v, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != v.size() || n < min) {
+    throw Error(std::string(flag) + " expects an integer >= " +
+                std::to_string(min) + ", got '" + v + "'");
+  }
+  return static_cast<std::size_t>(n);
+}
+
 /// Flags shared by both front-ends; returns false for flags the caller
-/// must handle (positional input path for batch).
+/// must handle (positional input path for batch, socket flags for serve).
 bool parse_common_flag(const std::string& arg, int argc, char** argv, int& i,
                        FrontEndOptions& opts) {
-  auto next_value = [&](const char* flag) -> std::string {
-    if (i + 1 >= argc) throw Error(std::string(flag) + " needs a value");
-    return argv[++i];
-  };
   auto next_count = [&](const char* flag) {
-    const std::string v = next_value(flag);
-    std::size_t consumed = 0;
-    long n = 0;
-    try {
-      n = std::stol(v, &consumed);
-    } catch (const std::exception&) {
-      consumed = 0;
-    }
-    if (consumed != v.size() || n < 1) {
-      throw Error(std::string(flag) + " expects a positive integer, got '" +
-                  v + "'");
-    }
-    return static_cast<std::size_t>(n);
+    return parse_count(flag, next_value(flag, argc, argv, i), 1);
   };
   if (arg == "--threads") {
     opts.threads = next_count("--threads");
@@ -63,6 +77,51 @@ bool parse_common_flag(const std::string& arg, int argc, char** argv, int& i,
     const std::size_t shards = next_count("--shards");
     if (shards > 4096) throw Error("--shards must be at most 4096");
     opts.serve.cache_shards = shards;
+    return true;
+  }
+  return false;
+}
+
+/// Socket-mode serve flags; returns false for anything it doesn't know.
+bool parse_net_flag(const std::string& arg, int argc, char** argv, int& i,
+                    FrontEndOptions& opts) {
+  if (arg == "--listen") {
+    opts.listen = next_value("--listen", argc, argv, i);
+    return true;
+  }
+  if (arg == "--unix") {
+    opts.unix_path = next_value("--unix", argc, argv, i);
+    return true;
+  }
+  if (arg == "--workers") {  // 0 = answer inline on the IO thread
+    opts.workers =
+        parse_count("--workers", next_value("--workers", argc, argv, i), 0);
+    return true;
+  }
+  if (arg == "--max-conns") {
+    opts.max_conns = parse_count(
+        "--max-conns", next_value("--max-conns", argc, argv, i), 1);
+    return true;
+  }
+  if (arg == "--max-inflight") {
+    opts.max_inflight = parse_count(
+        "--max-inflight", next_value("--max-inflight", argc, argv, i), 1);
+    return true;
+  }
+  if (arg == "--idle-timeout") {
+    const std::string v = next_value("--idle-timeout", argc, argv, i);
+    std::size_t consumed = 0;
+    double s = 0;
+    try {
+      s = std::stod(v, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != v.size()) {
+      throw Error("--idle-timeout expects seconds (0 disables), got '" + v +
+                  "'");
+    }
+    opts.idle_timeout_s = s;
     return true;
   }
   return false;
@@ -97,6 +156,78 @@ std::string read_all_of_stdin() {
   std::ostringstream buf;
   buf << std::cin.rdbuf();
   return buf.str();
+}
+
+/// Pipe mode: request/response loop on stdin/stdout, one flushed response
+/// per line. Framing (trimming, blank-line skipping, the shared
+/// max-line-length guard) goes through the same LineFramer the socket
+/// front-end uses, so an oversized line gets the identical ok:false
+/// answer here without ever being buffered whole.
+int serve_pipe(const FrontEndOptions& opts) {
+  serve::Engine engine(opts.serve);
+  net::LineFramer framer;
+  std::string response;  // reused across lines (handle_line_to appends)
+  char chunk[65536];
+  auto answer = [&](const net::LineFramer::Item& item) {
+    response.clear();
+    if (item.kind == net::LineFramer::Item::Kind::kOversize) {
+      serve::append_error_response(
+          response, {}, serve::oversize_line_error(item.oversize_bytes));
+    } else {
+      engine.handle_line_to(item.line, response);
+    }
+    response.push_back('\n');
+    // One response per request, flushed immediately: the reader on the
+    // other end of the pipe must not wait on a buffer.
+    std::cout << response << std::flush;
+  };
+  while (std::cin.read(chunk, sizeof(chunk)) || std::cin.gcount() > 0) {
+    framer.feed(
+        std::string_view(chunk, static_cast<std::size_t>(std::cin.gcount())));
+    for (auto item = framer.next();
+         item.kind != net::LineFramer::Item::Kind::kNone;
+         item = framer.next()) {
+      answer(item);
+    }
+  }
+  const auto last = framer.finish();  // input without a trailing newline
+  if (last.kind != net::LineFramer::Item::Kind::kNone) answer(last);
+  return 0;
+}
+
+/// Socket mode: epoll event loop on the configured TCP and/or UDS
+/// endpoints, graceful drain on SIGTERM/SIGINT (exit 0).
+int serve_sockets(const FrontEndOptions& opts) {
+  net::ServerOptions sopts;
+  sopts.serve = opts.serve;
+  sopts.tcp = opts.listen;
+  sopts.unix_path = opts.unix_path;
+  sopts.workers = opts.workers;
+  sopts.max_conns = opts.max_conns;
+  sopts.max_inflight = opts.max_inflight;
+  sopts.idle_timeout_s = opts.idle_timeout_s;
+
+  net::Server server(std::move(sopts));
+  server.start();
+  std::cerr << "hpcarbon serve: listening on";
+  if (!server.tcp_endpoint().empty()) {
+    std::cerr << " tcp " << server.tcp_endpoint();
+  }
+  if (!opts.unix_path.empty()) std::cerr << " unix " << opts.unix_path;
+  std::cerr << " (workers=" << opts.workers
+            << ", max-conns=" << opts.max_conns
+            << ", max-inflight=" << opts.max_inflight << ")\n";
+
+  net::install_signal_drain(server);
+  server.run();
+  net::uninstall_signal_drain();
+
+  const auto& fe = server.stats();
+  std::cerr << "hpcarbon serve: drained; "
+            << fe.connections_accepted.load() << " connections, "
+            << fe.bytes_in.load() << " bytes in, " << fe.bytes_out.load()
+            << " bytes out, " << fe.requests_shed.load() << " shed\n";
+  return 0;
 }
 
 }  // namespace
@@ -155,27 +286,14 @@ int cmd_serve(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (parse_common_flag(arg, argc, argv, i, opts)) continue;
+    if (parse_net_flag(arg, argc, argv, i, opts)) continue;
     throw Error("unknown serve flag '" + arg + "' (see `hpcarbon help`)");
   }
   size_pool(opts);
-
-  serve::Engine engine(opts.serve);
-  std::string line;
-  std::string response;  // reused across lines (handle_line_to appends)
-  while (std::getline(std::cin, line)) {
-    while (!line.empty() &&
-           (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
-      line.pop_back();
-    }
-    if (line.empty()) continue;
-    response.clear();
-    engine.handle_line_to(line, response);
-    response.push_back('\n');
-    // One response per request, flushed immediately: the reader on the
-    // other end of the pipe must not wait on a buffer.
-    std::cout << response << std::flush;
+  if (!opts.listen.empty() || !opts.unix_path.empty()) {
+    return serve_sockets(opts);
   }
-  return 0;
+  return serve_pipe(opts);
 }
 
 }  // namespace hpcarbon::cli

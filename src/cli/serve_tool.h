@@ -7,12 +7,19 @@
 //   hpcarbon serve                     request/response loop on
 //                                      stdin/stdout, flushed per line, so
 //                                      tests, CI, and scripts drive it
-//                                      through a pipe — no sockets
+//                                      through a pipe
+//   hpcarbon serve --listen HOST:PORT  epoll network daemon (TCP and/or
+//            [--unix PATH]             Unix-domain socket; src/net) with
+//                                      pipelining, backpressure and
+//                                      graceful SIGTERM drain
 //
-// Responses are bit-identical between the two front-ends (and across
+// Responses are bit-identical across all three front-ends (and across
 // thread counts); `batch` additionally prints a one-line cache summary to
-// stderr, and the `{"op":"stats"}` control request reports counters
-// in-band for the daemon loop.
+// stderr, and the `{"op":"stats"}` control request reports engine
+// counters plus net_* transport counters in-band (zeros in pipe/batch
+// mode, where there is no transport). All front-ends share the
+// serve::kMaxRequestLineBytes line limit: an oversized request line is
+// answered with an ok:false response reporting its byte count.
 #pragma once
 
 namespace hpcarbon::cli {
@@ -21,7 +28,9 @@ namespace hpcarbon::cli {
 /// [--shards N]` (argv excludes the subcommand itself).
 int cmd_batch(int argc, char** argv);
 
-/// `hpcarbon serve [--threads N] [--cache-mb M] [--shards N]`.
+/// `hpcarbon serve [--threads N] [--cache-mb M] [--shards N]
+/// [--listen HOST:PORT] [--unix PATH] [--workers N] [--max-conns N]
+/// [--max-inflight N] [--idle-timeout SECONDS]`.
 int cmd_serve(int argc, char** argv);
 
 }  // namespace hpcarbon::cli

@@ -1,0 +1,395 @@
+#include "net/loadgen.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "grid/presets.h"
+#include "net/listener.h"
+#include "serve/request.h"
+
+namespace hpcarbon::net {
+
+std::vector<std::string> query_universe() {
+  std::vector<std::string> q;
+  for (const auto& slug : serve::part_slugs()) {
+    q.push_back(R"({"op":"embodied","params":{"part":")" + slug + "\"}}");
+  }
+  for (const auto& code : grid::codes_of(grid::all_regions())) {
+    q.push_back(R"({"op":"trace","params":{"region":")" + code + "\"}}");
+    q.push_back(R"({"op":"trace","params":{"region":")" + code +
+                R"(","window_start_hour":3624,"window_hours":168}})");
+  }
+  for (const char* node : {"p100", "v100", "a100"}) {
+    for (const char* region : {"ESO", "CISO", "ERCOT"}) {
+      q.push_back(std::string(R"({"op":"lifetime","params":{"node":")") +
+                  node + R"(","region":")" + region + "\"}}");
+    }
+  }
+  q.push_back(R"({"op":"lifetime","params":{"node":"v100","samples":1024}})");
+  for (const char* decline : {"0", "0.03", "0.07"}) {
+    q.push_back(
+        std::string(R"({"op":"breakeven","params":{"annual_decline":)") +
+        decline + "}}");
+  }
+  // Default 28-day horizon at 2.5 jobs/h: the `hpcarbon run` scenario a
+  // dashboard would poll, and the expensive tail of the mix.
+  for (const char* policy : {"greedy", "net-benefit", "forecast-nb"}) {
+    q.push_back(std::string(R"({"op":"sched","params":{"policy":")") +
+                policy + "\"}}");
+  }
+  return q;
+}
+
+std::vector<std::string> zipf_mix(std::size_t count) {
+  std::vector<std::string> universe = query_universe();
+  Rng shuffle_rng(kShuffleSeed);
+  for (std::size_t i = universe.size(); i > 1; --i) {
+    std::swap(universe[i - 1],
+              universe[static_cast<std::size_t>(shuffle_rng.uniform_int(
+                  0, static_cast<std::int64_t>(i) - 1))]);
+  }
+  std::vector<double> cdf(universe.size());
+  double total = 0;
+  for (std::size_t r = 0; r < universe.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), 1.1);
+    cdf[r] = total;
+  }
+  Rng mix_rng(kMixSeed);
+  std::vector<std::string> mix;
+  mix.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double u = mix_rng.uniform(0.0, total);
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    mix.push_back(universe[static_cast<std::size_t>(it - cdf.begin())]);
+  }
+  return mix;
+}
+
+std::vector<double> poisson_arrivals_us(std::size_t count, double rate_rps,
+                                        std::uint64_t seed) {
+  HPC_REQUIRE(rate_rps > 0, "loadgen: arrival rate must be positive");
+  Rng rng(seed);
+  std::vector<double> at;
+  at.reserve(count);
+  double t = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t += rng.exponential(rate_rps) * 1e6;
+    at.push_back(t);
+  }
+  return at;
+}
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      static_cast<double>(sorted.size()) * p);
+  return sorted[idx < sorted.size() ? idx : sorted.size() - 1];
+}
+
+namespace {
+
+using clock_type = std::chrono::steady_clock;
+
+double us_since(clock_type::time_point t0) {
+  return std::chrono::duration<double, std::micro>(clock_type::now() - t0)
+      .count();
+}
+
+int connect_target(const LoadTarget& target) {
+  const int fd = target.tcp.empty() ? connect_unix(target.unix_path)
+                                    : connect_tcp(target.tcp);
+  set_nonblocking(fd);
+  return fd;
+}
+
+/// One client connection of the load loop: pending outgoing bytes, the
+/// send timestamps of in-flight requests (responses come back in order),
+/// and the partial response line carried between reads.
+struct ClientConn {
+  int fd = -1;
+  std::string out;
+  std::size_t out_off = 0;
+  std::deque<double> inflight_sent_us;
+  std::string tail;
+  std::uint32_t interest = 0;
+  bool dead = false;
+};
+
+struct ClientLoop {
+  int epoll_fd = -1;
+  std::vector<ClientConn> conns;
+
+  explicit ClientLoop(const LoadTarget& target, std::size_t n) {
+    epoll_fd = epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd < 0) throw Error("loadgen: epoll_create1 failed");
+    conns.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      conns[i].fd = connect_target(target);
+      set_interest(conns[i], EPOLLIN, /*add=*/true);
+    }
+  }
+  ~ClientLoop() {
+    for (auto& c : conns) {
+      if (c.fd >= 0) ::close(c.fd);
+    }
+    if (epoll_fd >= 0) ::close(epoll_fd);
+  }
+
+  void set_interest(ClientConn& c, std::uint32_t want, bool add = false) {
+    if (!add && want == c.interest) return;
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = static_cast<std::uint64_t>(&c - conns.data());
+    epoll_ctl(epoll_fd, add ? EPOLL_CTL_ADD : EPOLL_CTL_MOD, c.fd, &ev);
+    c.interest = want;
+  }
+
+  void kill(ClientConn& c, std::size_t* errors) {
+    if (c.dead) return;
+    c.dead = true;
+    // Unanswered requests on a dead connection are lost, not latent.
+    *errors += c.inflight_sent_us.size();
+    c.inflight_sent_us.clear();
+    epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
+    ::close(c.fd);
+    c.fd = -1;
+  }
+
+  /// Push buffered bytes out; arms EPOLLOUT on a partial write.
+  void flush(ClientConn& c, std::size_t* errors) {
+    while (c.out_off < c.out.size()) {
+      const ssize_t n = ::send(c.fd, c.out.data() + c.out_off,
+                               c.out.size() - c.out_off, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        kill(c, errors);
+        return;
+      }
+      c.out_off += static_cast<std::size_t>(n);
+    }
+    if (c.out_off == c.out.size()) {
+      c.out.clear();
+      c.out_off = 0;
+      set_interest(c, EPOLLIN);
+    } else {
+      set_interest(c, EPOLLIN | EPOLLOUT);
+    }
+  }
+};
+
+}  // namespace
+
+OpenLoopStats run_open_loop(const LoadTarget& target,
+                            const std::vector<std::string>& mix,
+                            double rate_rps, std::size_t conns,
+                            std::uint64_t seed, double timeout_s) {
+  HPC_REQUIRE(conns > 0 && !mix.empty(), "loadgen: need conns and requests");
+  OpenLoopStats stats;
+  stats.offered_rps = rate_rps;
+  const std::vector<double> sched = poisson_arrivals_us(mix.size(), rate_rps,
+                                                        seed);
+  ClientLoop loop(target, conns);
+  std::vector<epoll_event> events(256);
+  char chunk[65536];
+
+  const auto t0 = clock_type::now();
+  std::size_t next = 0;  // first unsent request
+  while (stats.received + stats.errors < mix.size()) {
+    const double now_us = us_since(t0);
+    if (now_us > timeout_s * 1e6) {
+      stats.errors += mix.size() - stats.received - stats.errors;
+      break;
+    }
+    // Send everything whose scheduled time has come — regardless of how
+    // many responses are still outstanding (open loop).
+    while (next < mix.size() && sched[next] <= now_us) {
+      ClientConn& c = loop.conns[next % conns];
+      if (c.dead) {
+        ++stats.errors;
+        ++next;
+        continue;
+      }
+      c.out += mix[next];
+      c.out += '\n';
+      c.inflight_sent_us.push_back(sched[next]);
+      ++stats.sent;
+      ++next;
+      loop.flush(c, &stats.errors);
+    }
+    int wait_ms = 50;
+    if (next < mix.size()) {
+      const double gap_us = sched[next] - us_since(t0);
+      wait_ms = gap_us <= 0 ? 0 : static_cast<int>(gap_us / 1000.0);
+      if (wait_ms > 50) wait_ms = 50;
+    }
+    const int n = epoll_wait(loop.epoll_fd, events.data(),
+                             static_cast<int>(events.size()), wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("loadgen: epoll_wait failed");
+    }
+    for (int i = 0; i < n; ++i) {
+      ClientConn& c = loop.conns[events[i].data.u64];
+      if (c.dead) continue;
+      if ((events[i].events & EPOLLOUT) != 0) loop.flush(c, &stats.errors);
+      if (c.dead || (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) {
+        continue;
+      }
+      while (true) {
+        const ssize_t r = ::recv(c.fd, chunk, sizeof(chunk), 0);
+        if (r > 0) {
+          const double arrive_us = us_since(t0);
+          c.tail.append(chunk, static_cast<std::size_t>(r));
+          std::size_t pos = 0, nl = 0;
+          while ((nl = c.tail.find('\n', pos)) != std::string::npos) {
+            const std::string_view line(c.tail.data() + pos, nl - pos);
+            ++stats.received;
+            if (line.find("request shed") != std::string_view::npos) {
+              ++stats.shed;
+            }
+            if (!c.inflight_sent_us.empty()) {
+              stats.latencies_us.push_back(arrive_us -
+                                           c.inflight_sent_us.front());
+              c.inflight_sent_us.pop_front();
+            }
+            pos = nl + 1;
+          }
+          c.tail.erase(0, pos);
+          if (r < static_cast<ssize_t>(sizeof(chunk))) break;
+          continue;
+        }
+        if (r == 0) {
+          loop.kill(c, &stats.errors);
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        loop.kill(c, &stats.errors);
+        break;
+      }
+    }
+  }
+  stats.elapsed_s = us_since(t0) / 1e6;
+  stats.achieved_rps =
+      stats.elapsed_s > 0
+          ? static_cast<double>(stats.received) / stats.elapsed_s
+          : 0;
+  std::sort(stats.latencies_us.begin(), stats.latencies_us.end());
+  return stats;
+}
+
+ClosedLoopStats run_closed_loop(const LoadTarget& target,
+                                const std::vector<std::string>& mix,
+                                std::size_t conns, std::size_t depth,
+                                double timeout_s) {
+  HPC_REQUIRE(conns > 0 && depth > 0 && !mix.empty(),
+              "loadgen: need conns, depth and requests");
+  ClosedLoopStats stats;
+  ClientLoop loop(target, conns);
+  std::vector<epoll_event> events(256);
+  char chunk[65536];
+  // Request i rides connection i % conns; each connection walks its own
+  // arithmetic slice of the mix so the Zipf skew is preserved everywhere.
+  std::vector<std::size_t> next_idx(conns);
+  for (std::size_t c = 0; c < conns; ++c) next_idx[c] = c;
+
+  const auto t0 = clock_type::now();
+  auto send_next = [&](std::size_t ci) {
+    ClientConn& c = loop.conns[ci];
+    if (c.dead || next_idx[ci] >= mix.size()) return false;
+    c.out += mix[next_idx[ci]];
+    c.out += '\n';
+    c.inflight_sent_us.push_back(us_since(t0));
+    next_idx[ci] += conns;
+    ++stats.sent;
+    return true;
+  };
+  for (std::size_t ci = 0; ci < conns; ++ci) {
+    for (std::size_t d = 0; d < depth; ++d) send_next(ci);
+    loop.flush(loop.conns[ci], &stats.errors);
+  }
+
+  while (stats.received + stats.errors < stats.sent ||
+         [&] {  // any conn with unsent quota left?
+           for (std::size_t ci = 0; ci < conns; ++ci) {
+             if (!loop.conns[ci].dead && next_idx[ci] < mix.size()) {
+               return true;
+             }
+           }
+           return false;
+         }()) {
+    if (us_since(t0) > timeout_s * 1e6) {
+      stats.errors += stats.sent - stats.received - stats.errors;
+      break;
+    }
+    const int n = epoll_wait(loop.epoll_fd, events.data(),
+                             static_cast<int>(events.size()), 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw Error("loadgen: epoll_wait failed");
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::size_t ci = events[i].data.u64;
+      ClientConn& c = loop.conns[ci];
+      if (c.dead) continue;
+      if ((events[i].events & EPOLLOUT) != 0) loop.flush(c, &stats.errors);
+      if (c.dead || (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) == 0) {
+        continue;
+      }
+      bool sent_more = false;
+      while (true) {
+        const ssize_t r = ::recv(c.fd, chunk, sizeof(chunk), 0);
+        if (r > 0) {
+          const double arrive_us = us_since(t0);
+          c.tail.append(chunk, static_cast<std::size_t>(r));
+          std::size_t pos = 0, nl = 0;
+          while ((nl = c.tail.find('\n', pos)) != std::string::npos) {
+            const std::string_view line(c.tail.data() + pos, nl - pos);
+            ++stats.received;
+            if (line.find("request shed") != std::string_view::npos) {
+              ++stats.shed;
+            }
+            if (!c.inflight_sent_us.empty()) {
+              stats.latencies_us.push_back(arrive_us -
+                                           c.inflight_sent_us.front());
+              c.inflight_sent_us.pop_front();
+            }
+            sent_more |= send_next(ci);  // keep `depth` in flight
+            pos = nl + 1;
+          }
+          c.tail.erase(0, pos);
+          if (r < static_cast<ssize_t>(sizeof(chunk))) break;
+          continue;
+        }
+        if (r == 0) {
+          loop.kill(c, &stats.errors);
+          break;
+        }
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        loop.kill(c, &stats.errors);
+        break;
+      }
+      if (sent_more && !c.dead) loop.flush(c, &stats.errors);
+    }
+  }
+  stats.elapsed_s = us_since(t0) / 1e6;
+  stats.qps = stats.elapsed_s > 0
+                  ? static_cast<double>(stats.received) / stats.elapsed_s
+                  : 0;
+  std::sort(stats.latencies_us.begin(), stats.latencies_us.end());
+  return stats;
+}
+
+}  // namespace hpcarbon::net

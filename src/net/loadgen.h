@@ -1,0 +1,94 @@
+// Deterministic load generation for the serve front-ends, shared by the
+// serve-load and netload benches (and their tests).
+//
+// The request stream is part of the benchmark's identity: the same two
+// pinned seeds (kShuffleSeed, kMixSeed) that `hpcarbon bench serve-load`
+// has used since its first trajectory row produce the same Zipf(1.1) mix
+// here, so engine-level and network-level rows measure the same work.
+// zipf_mix is prefix-stable: the first N requests of a longer mix equal a
+// shorter mix of N — growing the replay never re-rolls history.
+//
+// Arrival times for the open-loop phase are a seeded Poisson process
+// (exponential inter-arrival gaps). Open-loop means requests are sent on
+// schedule whether or not earlier responses have come back, and latency
+// is measured from the *scheduled* send time — so a stalled server keeps
+// accumulating scheduled-but-unanswered requests and the tail reflects
+// queueing delay instead of hiding it (no coordinated omission).
+//
+// Everything here is a pure function of its seeds: bit-identical across
+// runs and machines (tests assert this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hpcarbon::net {
+
+/// Pinned stream seeds — treat like a file-format version (changing
+/// either invalidates cross-row bench comparisons).
+inline constexpr std::uint64_t kShuffleSeed = 7;
+inline constexpr std::uint64_t kMixSeed = 11;
+
+/// The distinct-query universe: one spelling per question, spanning all
+/// five request families (cheap embodied/trace lookups through expensive
+/// scheduler runs).
+std::vector<std::string> query_universe();
+
+/// `count` request lines, Zipf(s=1.1)-ranked over the kShuffleSeed-
+/// shuffled universe, drawn with kMixSeed. Prefix-stable in `count`.
+std::vector<std::string> zipf_mix(std::size_t count);
+
+/// Cumulative Poisson arrival offsets in microseconds: `count` scheduled
+/// send times at `rate_rps` mean throughput, from seeded exponential
+/// gaps. Strictly deterministic in (count, rate_rps, seed).
+std::vector<double> poisson_arrivals_us(std::size_t count, double rate_rps,
+                                        std::uint64_t seed);
+
+/// Where the load goes: a TCP "host:port" (preferred when non-empty) or
+/// a Unix-domain socket path.
+struct LoadTarget {
+  std::string tcp;
+  std::string unix_path;
+};
+
+/// Open-loop replay: requests sent on their Poisson schedule across
+/// `conns` connections (request i rides connection i % conns), latency
+/// measured from scheduled send time to response arrival.
+struct OpenLoopStats {
+  std::vector<double> latencies_us;  // sorted ascending
+  double elapsed_s = 0;
+  double offered_rps = 0;   // the schedule's rate
+  double achieved_rps = 0;  // responses / elapsed
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  std::size_t shed = 0;    // explicit overload-shed responses
+  std::size_t errors = 0;  // connection failures / dropped requests
+};
+OpenLoopStats run_open_loop(const LoadTarget& target,
+                            const std::vector<std::string>& mix,
+                            double rate_rps, std::size_t conns,
+                            std::uint64_t seed, double timeout_s = 120.0);
+
+/// Closed-loop replay: every connection keeps `depth` requests in flight
+/// (send-on-response), which measures saturation throughput rather than
+/// latency under a fixed offered load.
+struct ClosedLoopStats {
+  std::vector<double> latencies_us;  // sorted; includes client queue time
+  double elapsed_s = 0;
+  double qps = 0;
+  std::size_t sent = 0;
+  std::size_t received = 0;
+  std::size_t shed = 0;
+  std::size_t errors = 0;
+};
+ClosedLoopStats run_closed_loop(const LoadTarget& target,
+                                const std::vector<std::string>& mix,
+                                std::size_t conns, std::size_t depth,
+                                double timeout_s = 120.0);
+
+/// p in [0,1] over an ascending vector (0.5 -> p50). Empty input -> 0.
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+}  // namespace hpcarbon::net

@@ -6,6 +6,7 @@
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "core/time.h"
+#include "serve/limits.h"
 #include "embodied/catalog.h"
 #include "embodied/models.h"
 #include "grid/analysis.h"
@@ -244,20 +245,9 @@ void success_prefix_to(std::string& out, const std::string& id,
   out += ",\"result\":";
 }
 
-void error_response_to(std::string& out, const std::string& id,
-                       const std::string& what) {
-  out += "{\"error\":";
-  json::quote_to(out, what);
-  if (!id.empty()) {
-    out += ",\"id\":";
-    json::quote_to(out, id);
-  }
-  out += ",\"ok\":false}";
-}
-
 std::string error_response(const std::string& id, const std::string& what) {
   std::string out;
-  error_response_to(out, id, what);
+  append_error_response(out, id, what);
   return out;
 }
 
@@ -284,6 +274,15 @@ struct Planned {
 };
 
 Planned plan_line(std::string_view line) {
+  // Reject oversized lines before parsing (and before any id salvage —
+  // the streaming front-ends never materialize the oversized bytes, so
+  // answering without an id is what keeps every transport byte-identical
+  // here). serve/limits.h owns the shared constant and message.
+  if (line.size() > kMaxRequestLineBytes) {
+    Planned p;
+    p.response = error_response({}, oversize_line_error(line.size()));
+    return p;
+  }
   // One reader per thread: node pool and unescape arena warm up once and
   // every subsequent line parses with zero allocations. plan_line only
   // runs on the thread that called handle_line/handle_batch (the pool
@@ -338,6 +337,22 @@ Planned plan_line(std::string_view line) {
 
 }  // namespace
 
+void append_error_response(std::string& out, std::string_view id,
+                           std::string_view what) {
+  out += "{\"error\":";
+  json::quote_to(out, what);
+  if (!id.empty()) {
+    out += ",\"id\":";
+    json::quote_to(out, id);
+  }
+  out += ",\"ok\":false}";
+}
+
+std::string oversize_line_error(std::size_t line_bytes) {
+  return "request line exceeds " + std::to_string(kMaxRequestLineBytes) +
+         " bytes (got " + std::to_string(line_bytes) + ")";
+}
+
 json::Value evaluate(const Query& q, TraceStore& traces) {
   // Materialized lazily from the canonical text: only cache misses (and
   // direct evaluate callers) pay for a params document.
@@ -373,6 +388,20 @@ std::string Engine::stats_response(const std::string& id) const {
   out.set("hits", json::Value::number(static_cast<double>(cs.hits)));
   out.set("inserts", json::Value::number(static_cast<double>(cs.inserts)));
   out.set("misses", json::Value::number(static_cast<double>(cs.misses)));
+  // Transport counters: the socket front-end (src/net) wires its
+  // FrontEndStats in through ServeOptions; pipe and batch have no
+  // transport and report zeros, so the field set is identical everywhere.
+  const FrontEndStats* fe = opts_.frontend;
+  auto net = [&](const std::atomic<std::uint64_t> FrontEndStats::*field) {
+    return json::Value::number(static_cast<double>(
+        fe != nullptr ? (fe->*field).load(std::memory_order_relaxed) : 0));
+  };
+  out.set("net_accepted", net(&FrontEndStats::connections_accepted));
+  out.set("net_active", net(&FrontEndStats::connections_active));
+  out.set("net_bytes_in", net(&FrontEndStats::bytes_in));
+  out.set("net_bytes_out", net(&FrontEndStats::bytes_out));
+  out.set("net_max_inflight", net(&FrontEndStats::max_inflight));
+  out.set("net_shed", net(&FrontEndStats::requests_shed));
   out.set("shards",
           json::Value::number(static_cast<double>(cache_.shard_count())));
   out.set("trace_entries", json::Value::number(static_cast<double>(ts.size())));
@@ -403,7 +432,7 @@ void answer_query_to(ResultCache& cache, TraceStore& traces, const Query& q,
     out.push_back('}');
   } catch (const Error& e) {
     out.resize(mark);  // drop the success prefix
-    error_response_to(out, q.id, e.what());  // runtime failures not cached
+    append_error_response(out, q.id, e.what());  // runtime failures not cached
   }
 }
 
@@ -449,7 +478,7 @@ void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
       out += result;
       out.push_back('}');
     } catch (const Error& e) {
-      error_response_to(out, q.id, e.what());
+      append_error_response(out, q.id, e.what());
     }
   });
 

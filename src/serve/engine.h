@@ -22,7 +22,9 @@
 // tools.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +38,22 @@ class ThreadPool;
 
 namespace hpcarbon::serve {
 
+/// Front-end transport counters, reported through the {"op":"stats"}
+/// control request so overload shedding and connection churn are
+/// observable in-band. The socket server (src/net) owns one and updates
+/// it from its event loop and workers; the pipe/batch front-ends have no
+/// transport, report every field as zero, and pass no pointer. Plain
+/// relaxed atomics: each field is a monotonic tally (or high-water mark),
+/// never a cross-field invariant.
+struct FrontEndStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> requests_shed{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> max_inflight{0};
+};
+
 struct ServeOptions {
   /// ResultCache geometry.
   std::size_t cache_shards = 8;
@@ -45,7 +63,18 @@ struct ServeOptions {
   ThreadPool* pool = nullptr;
   /// Trace source; nullptr selects TraceStore::global().
   TraceStore* traces = nullptr;
+  /// Transport counters surfaced by {"op":"stats"} as the net_* fields;
+  /// nullptr (pipe/batch — no transport) reports zeros for all of them.
+  const FrontEndStats* frontend = nullptr;
 };
+
+/// Append the canonical error-response document
+/// `{"error":<what>,["id":<id>,]"ok":false}` (no trailing newline) to
+/// `out`. Exposed so transport-level rejections (oversized lines,
+/// overload shedding in src/net) emit bytes identical to the engine's own
+/// error path. An empty id is omitted.
+void append_error_response(std::string& out, std::string_view id,
+                           std::string_view what);
 
 /// Answer one validated query against the library (no caching). Returns
 /// the result object; throws hpcarbon::Error for runtime failures (e.g. an
@@ -61,8 +90,10 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// One request line -> one response line (no trailing newline). Invalid
-  /// requests yield ok:false responses, never throws. The {"op":"stats"}
-  /// control request answers cache counters and is itself never cached.
+  /// requests yield ok:false responses, never throws. A line longer than
+  /// kMaxRequestLineBytes (serve/limits.h) is rejected before parsing
+  /// with the shared oversize error. The {"op":"stats"} control request
+  /// answers cache counters and is itself never cached.
   std::string handle_line(std::string_view line);
 
   /// handle_line, appended to a caller-owned buffer (identical bytes, no

@@ -1,0 +1,34 @@
+// Request-framing limits shared by every front-end.
+//
+// The serve layer speaks newline-delimited JSON on three transports — the
+// batch file reader, the stdin/stdout pipe loop, and the src/net socket
+// server — and all three enforce the same maximum request-line length so
+// a malformed or hostile client cannot make any of them buffer without
+// bound. The limit lives here (not in engine.h) because the network
+// framer needs the constant without pulling in the engine.
+//
+// An oversized line is answered, not dropped: the response is the regular
+// ok:false error document carrying the observed byte count, emitted with
+// no id (the line is rejected *before* parsing, so there is no id to
+// salvage — which also keeps the streaming framer, which never
+// materializes the oversized bytes, byte-identical to the batch path,
+// which has the whole line in hand).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hpcarbon::serve {
+
+/// Hard cap on one request line (bytes, excluding the newline). Large
+/// enough for any legitimate query document — the biggest canonical
+/// request is well under 1 KiB — while bounding per-connection buffering.
+inline constexpr std::size_t kMaxRequestLineBytes = std::size_t{1} << 20;
+
+/// The error message an oversized line is answered with. Shared by the
+/// engine's pre-parse check (batch / handle_line) and the streaming
+/// framer (pipe + socket), so every front-end rejects with identical
+/// bytes.
+std::string oversize_line_error(std::size_t line_bytes);
+
+}  // namespace hpcarbon::serve

@@ -16,6 +16,7 @@
 #include "lifecycle/upgrade.h"
 #include "op/pue.h"
 #include "serve/engine.h"
+#include "serve/limits.h"
 #include "serve/request.h"
 #include "workload/suite.h"
 
@@ -415,6 +416,57 @@ TEST(Engine, StatsInsideBatchMatchesSequentialReplay) {
   // ...and the final one sees the duplicate's hit and both inserts.
   EXPECT_NE(batch[4].find("\"inserts\":2"), std::string::npos) << batch[4];
   EXPECT_NE(batch[4].find("\"hits\":1"), std::string::npos);
+}
+
+TEST(Engine, OversizeLineRejectedWithByteCount) {
+  // The shared kMaxRequestLineBytes guard: pipe and batch front-ends
+  // reject an oversized request line with an ok:false response carrying
+  // its exact byte count — the same document the socket framer (which
+  // never buffers the line) produces, so all front-ends stay
+  // byte-identical.
+  std::string big = R"({"op":"embodied","params":{"part":")";
+  big.append(kMaxRequestLineBytes, 'x');
+  big += "\"}}";
+
+  Engine engine;
+  const std::string direct = engine.handle_line(big);
+  EXPECT_NE(direct.find(oversize_line_error(big.size())), std::string::npos)
+      << direct;
+  EXPECT_NE(direct.find("\"ok\":false"), std::string::npos) << direct;
+  EXPECT_NE(direct.find(std::to_string(big.size())), std::string::npos);
+  EXPECT_EQ(engine.cache_stats().inserts, 0u);  // rejected before parsing
+
+  // Inside a batch the oversized line is answered in place and the rest
+  // of the payload is unaffected.
+  const auto batch =
+      engine.handle_batch({family_lines()[0], big, family_lines()[0]});
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[1], direct);
+  EXPECT_EQ(batch[0], batch[2]);
+  EXPECT_NE(batch[0].find("\"ok\":true"), std::string::npos);
+
+  // Exactly at the limit is still served normally.
+  std::string at_limit = R"({"op":"embodied","id":")";
+  at_limit.append(kMaxRequestLineBytes - at_limit.size() -
+                      std::string(R"(","params":{"part":"mi250x"}})").size(),
+                  'y');
+  at_limit += R"(","params":{"part":"mi250x"}})";
+  ASSERT_EQ(at_limit.size(), kMaxRequestLineBytes);
+  EXPECT_NE(engine.handle_line(at_limit).find("\"ok\":true"),
+            std::string::npos);
+}
+
+TEST(Engine, StatsReportsZeroNetCountersWithoutTransport) {
+  // Pipe/batch mode has no socket front-end: the net_* counters exist in
+  // the stats document (stable schema for dashboards) but read zero.
+  Engine engine;
+  const std::string stats = engine.handle_line(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"net_accepted\":0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"net_active\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"net_bytes_in\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"net_bytes_out\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"net_max_inflight\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"net_shed\":0"), std::string::npos);
 }
 
 TEST(Engine, EvictionKeepsAnsweringCorrectly) {

@@ -107,6 +107,26 @@ class BenchDiffTest(unittest.TestCase):
         code, _, _ = self.run_diff([path])
         self.assertEqual(code, 0)
 
+    def test_p999_only_regression_detected(self):
+        # A tail-latency blowup must trip the gate even when every other
+        # pinned metric (throughput, p50) holds — the shape of a lock
+        # convoy or a stalled flush, which averages hide.
+        base = make_row("before", {
+            "warm_qps": metric(100.0, pinned=True),
+            "warm_p50_us": metric(5.0, "lower", True, "us"),
+            "warm_p999_us": metric(40.0, "lower", True, "us"),
+        })
+        cur = make_row("after", {
+            "warm_qps": metric(101.0, pinned=True),
+            "warm_p50_us": metric(5.0, "lower", True, "us"),
+            "warm_p999_us": metric(400.0, "lower", True, "us"),
+        })
+        path = self.write_trajectory("t.json", [base, cur])
+        code, out, _ = self.run_diff([path])
+        self.assertEqual(code, 1)
+        self.assertIn("REGRESSION", out)
+        self.assertIn("warm_p999_us", out)
+
     def test_within_threshold_noise_passes(self):
         base = make_row("before", {"warm_qps": metric(100.0, pinned=True)})
         cur = make_row("after", {"warm_qps": metric(95.0, pinned=True)})
