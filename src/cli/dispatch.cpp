@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "cli/fleetsim_tool.h"
 #include "cli/registry.h"
 #include "cli/scenario_runner.h"
 #include "cli/serve_tool.h"
@@ -60,6 +61,22 @@ int usage(std::ostream& out, int exit_code) {
          "      [--seed S] [--smoke] [--csv PATH] [--threads N]\n"
          "      [--trace-csv REGION=FILE] [--band-fab X] [--band-yield X]\n"
          "      [--band-epc X] [--band-packaging X] [--band-grid X]\n"
+         "  fleetsim [REGION...]         integer-tick fleet simulator: "
+         "policy ablation\n"
+         "                               at millions of jobs/sec (default "
+         "trio ERCOT ESO CISO)\n"
+         "      [--policies a,b,...]     subset of policies (default: all "
+         "registered)\n"
+         "      [--process P]            arrivals: poisson, diurnal, or "
+         "bursty\n"
+         "      [--days N] [--rate R]    synthetic workload horizon and "
+         "arrivals/hour\n"
+         "      [--capacity N]           nodes per site (default 16)\n"
+         "      [--jobs-csv PATH]        replay a job-trace CSV instead of "
+         "generating\n"
+         "      [--uncertainty N]        savings quantiles over N workload "
+         "seeds\n"
+         "      [--seed S] [--threads N]\n"
          "  trace <verb> <file>          import/inspect a real grid-trace "
          "CSV\n"
          "      stats|resample|export    (see `hpcarbon trace help`)\n"
@@ -259,6 +276,7 @@ int dispatch(int argc, char** argv, std::ostream& out, std::ostream& err) {
   if (cmd == "list") return cmd_list();
   if (cmd == "policies") return cmd_policies();
   if (cmd == "run") return cmd_run(argc - 2, argv + 2, err);
+  if (cmd == "fleetsim") return cmd_fleetsim(argc - 2, argv + 2, err);
   if (cmd == "sweep") return cmd_sweep(argc - 2, argv + 2);
   if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   if (cmd == "batch") return cmd_batch(argc - 2, argv + 2);

@@ -1,0 +1,88 @@
+// Event-heap discrete-event fleet engine: the datacenter-scale rebuild of
+// sched::SchedulingEngine.
+//
+// Same mechanism contract as the original engine — sorted arrivals, a
+// completion min-heap, hourly re-evaluation ticks while jobs queue,
+// per-site free slots, O(1) prefix-sum carbon, and every decision
+// delegated to a sched::SchedulingPolicy — but sized for thousands of
+// nodes and millions of jobs:
+//
+//  * integer event ticks (fleetsim/jobs.h, 1024/hour): event matching is
+//    an integer compare, not a `<= t + 1e-12` epsilon, and because the
+//    tick rate is a power of two every tick converts to an *exact*
+//    double, so the carbon/energy/wait arithmetic evaluates the same
+//    expressions on the same doubles as SchedulingEngine — metrics,
+//    outcomes, and ledgers are bit-identical on tick-aligned workloads
+//    (tests/test_fleetsim.cpp pins this for all registered policies);
+//  * struct-of-arrays job storage in and out (FleetJobs / FleetOutcomes):
+//    no per-job heap Job while jobs wait on disk-format vectors;
+//  * run() is const — all mutable state is per-call, so Monte-Carlo
+//    uncertainty sweeps fan one engine out across mc::Engine threads.
+//
+// Policies written against ClusterView run unmodified: the engine binds
+// the same view (friend access) with its double clock slaved to the tick
+// clock. Policy-planned starts that are not tick-aligned are rounded up
+// to the next tick (built-in policies plan whole-hour offsets, which are
+// always aligned).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/time.h"
+#include "fleetsim/jobs.h"
+#include "op/operational.h"
+#include "op/pue.h"
+#include "sched/budget.h"
+#include "sched/engine.h"
+#include "sched/job.h"
+#include "sched/policy.h"
+
+namespace hpcarbon::fleetsim {
+
+/// Per-job outcomes in dispatch order, struct-of-arrays (a million jobs
+/// are five flat vectors, not a million strings).
+struct FleetOutcomes {
+  std::vector<std::int32_t> job_id;
+  std::vector<std::uint32_t> site;   // index into the engine's sites
+  std::vector<Tick> start;
+  std::vector<double> wait_hours;
+  std::vector<double> carbon_g;      // compute + transfer
+
+  std::size_t size() const { return job_id.size(); }
+  void clear();
+  void reserve(std::size_t n);
+};
+
+class FleetEngine {
+ public:
+  /// sites[0] is the home site; `epoch` anchors tick 0 on the traces'
+  /// calendar (UTC). Builds one CarbonIntegrator per site, exactly like
+  /// SchedulingEngine.
+  FleetEngine(std::vector<sched::Site> sites, HourOfYear epoch,
+              op::PueModel pue = op::PueModel());
+
+  /// Run the event loop under `policy`. Jobs must validate (sorted
+  /// submits, positive durations). An empty fleet yields zero metrics.
+  /// const: all simulation state is local, so concurrent runs on one
+  /// engine (Monte-Carlo seed sweeps) are safe.
+  sched::ScheduleMetrics run(const FleetJobs& jobs,
+                             sched::SchedulingPolicy& policy,
+                             FleetOutcomes* outcomes = nullptr,
+                             sched::CarbonBudgetLedger* ledger_out =
+                                 nullptr) const;
+
+  const std::vector<sched::Site>& sites() const { return sites_; }
+  HourOfYear epoch() const { return epoch_; }
+  const op::PueModel& pue() const { return pue_; }
+  /// Total node slots across every site ("4k nodes" in the bench).
+  int capacity_total() const;
+
+ private:
+  std::vector<sched::Site> sites_;
+  HourOfYear epoch_;
+  op::PueModel pue_;
+  std::vector<op::CarbonIntegrator> integrators_;  // one per site
+};
+
+}  // namespace hpcarbon::fleetsim

@@ -1,0 +1,179 @@
+#include "fleetsim/jobs.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "core/csv.h"
+#include "core/error.h"
+
+namespace hpcarbon::fleetsim {
+
+void FleetJobs::push(std::int32_t job_id, Tick submit_tick, Tick duration_tick,
+                     Power it_power, const std::string& user_name) {
+  id.push_back(job_id);
+  submit.push_back(submit_tick);
+  duration.push_back(duration_tick);
+  power.push_back(it_power);
+  user.push_back(intern_user(user_name));
+}
+
+std::uint32_t FleetJobs::intern_user(const std::string& user_name) {
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (users[i] == user_name) return static_cast<std::uint32_t>(i);
+  }
+  users.push_back(user_name);
+  return static_cast<std::uint32_t>(users.size() - 1);
+}
+
+void FleetJobs::validate() const {
+  const std::size_t n = size();
+  HPC_REQUIRE(id.size() == n && duration.size() == n && power.size() == n &&
+                  user.size() == n,
+              "fleet jobs: parallel vectors disagree on length");
+  for (std::size_t i = 0; i < n; ++i) {
+    HPC_REQUIRE(submit[i] >= 0, "fleet jobs: negative submit tick at index " +
+                                    std::to_string(i));
+    HPC_REQUIRE(i == 0 || submit[i - 1] <= submit[i],
+                "fleet jobs: submits not sorted at index " +
+                    std::to_string(i));
+    HPC_REQUIRE(duration[i] > 0, "fleet jobs: non-positive duration at index " +
+                                     std::to_string(i));
+    HPC_REQUIRE(user[i] < users.size(),
+                "fleet jobs: user index out of range at index " +
+                    std::to_string(i));
+  }
+}
+
+FleetJobs FleetJobs::from_jobs(const std::vector<sched::Job>& jobs) {
+  // Sort by submit like the scheduling engine does, so queue order (and
+  // therefore every policy decision) matches a direct SchedulingEngine run
+  // on the same list.
+  std::vector<std::size_t> order(jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].submit_hour < jobs[b].submit_hour;
+                   });
+  FleetJobs out;
+  out.id.reserve(jobs.size());
+  out.submit.reserve(jobs.size());
+  out.duration.reserve(jobs.size());
+  out.power.reserve(jobs.size());
+  out.user.reserve(jobs.size());
+  for (const std::size_t i : order) {
+    const sched::Job& j = jobs[i];
+    const Tick dur = std::max<Tick>(1, nearest_tick(j.duration_hours));
+    out.push(static_cast<std::int32_t>(j.id),
+             std::max<Tick>(0, nearest_tick(j.submit_hour)), dur, j.it_power,
+             j.user);
+  }
+  return out;
+}
+
+std::vector<sched::Job> FleetJobs::to_jobs() const {
+  std::vector<sched::Job> out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    sched::Job j;
+    j.id = id[i];
+    j.user = users[user[i]];
+    j.submit_hour = hours_of(submit[i]);
+    j.duration_hours = hours_of(duration[i]);
+    j.it_power = power[i];
+    out.push_back(std::move(j));
+  }
+  return out;
+}
+
+namespace {
+
+double parse_num(const std::string& cell, const char* column,
+                 std::size_t line) {
+  char* end = nullptr;
+  const double v = std::strtod(cell.c_str(), &end);
+  if (cell.empty() || end != cell.c_str() + cell.size()) {
+    throw Error("jobs CSV: non-numeric " + std::string(column) + " '" + cell +
+                "' (line " + std::to_string(line) + ")");
+  }
+  return v;
+}
+
+}  // namespace
+
+FleetJobs parse_jobs_csv(const std::string& text, std::size_t site_count,
+                         std::vector<std::int32_t>* origin_site) {
+  const CsvTable table = parse_csv_table(text);
+  HPC_REQUIRE(!table.rows.empty(), "jobs CSV: empty file");
+  const auto& header = table.rows[0];
+  const bool has_site = header.size() == 5;
+  if (header.size() < 4 || header.size() > 5 || header[0] != "submit_hours" ||
+      header[1] != "duration_hours" || header[2] != "power_kw" ||
+      header[3] != "user" || (has_site && header[4] != "site")) {
+    throw Error(
+        "jobs CSV: header must be "
+        "submit_hours,duration_hours,power_kw,user[,site] (line " +
+        std::to_string(table.line_numbers[0]) + ")");
+  }
+
+  std::vector<sched::Job> jobs;
+  std::vector<std::pair<std::size_t, std::int32_t>> origins;  // (row, site)
+  jobs.reserve(table.rows.size() - 1);
+  for (std::size_t r = 1; r < table.rows.size(); ++r) {
+    const auto& cells = table.rows[r];
+    const std::size_t line = table.line_numbers[r];
+    sched::Job j;
+    j.id = static_cast<int>(r - 1);
+    j.submit_hour = parse_num(cells[0], "submit_hours", line);
+    if (j.submit_hour < 0) {
+      throw Error("jobs CSV: negative submit_hours (line " +
+                  std::to_string(line) + ")");
+    }
+    j.duration_hours = parse_num(cells[1], "duration_hours", line);
+    if (j.duration_hours <= 0) {
+      throw Error("jobs CSV: duration_hours must be positive (line " +
+                  std::to_string(line) + ")");
+    }
+    const double kw = parse_num(cells[2], "power_kw", line);
+    if (kw <= 0) {
+      throw Error("jobs CSV: power_kw must be positive (line " +
+                  std::to_string(line) + ")");
+    }
+    j.it_power = Power::kilowatts(kw);
+    if (cells[3].empty()) {
+      throw Error("jobs CSV: empty user (line " + std::to_string(line) + ")");
+    }
+    j.user = cells[3];
+    if (has_site) {
+      const double site = parse_num(cells[4], "site", line);
+      if (site != std::floor(site) || site < 0 ||
+          site >= static_cast<double>(site_count)) {
+        throw Error("jobs CSV: site must be an integer in [0, " +
+                    std::to_string(site_count) + ") (line " +
+                    std::to_string(line) + ")");
+      }
+      origins.emplace_back(jobs.size(), static_cast<std::int32_t>(site));
+    }
+    jobs.push_back(std::move(j));
+  }
+
+  FleetJobs out = FleetJobs::from_jobs(jobs);
+  if (origin_site != nullptr) {
+    // from_jobs may reorder; map origins through the preserved ids (ids
+    // are the pre-sort row order by construction above).
+    std::vector<std::int32_t> by_row(jobs.size(), -1);
+    for (const auto& [row, site] : origins) by_row[row] = site;
+    origin_site->assign(out.size(), -1);
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      (*origin_site)[i] = by_row[static_cast<std::size_t>(out.id[i])];
+    }
+  }
+  return out;
+}
+
+FleetJobs load_jobs_csv(const std::string& path, std::size_t site_count,
+                        std::vector<std::int32_t>* origin_site) {
+  return parse_jobs_csv(read_file(path), site_count, origin_site);
+}
+
+}  // namespace hpcarbon::fleetsim

@@ -1,0 +1,118 @@
+// Struct-of-arrays job storage for the fleet simulator, on an integer
+// tick clock.
+//
+// The scheduling engine in sched/engine.h keeps time as fractional-hour
+// doubles, which forced epsilon comparisons on event matching and a
+// 72-byte Job struct per queue entry — fine for the paper's few thousand
+// jobs, hostile to millions. The fleet simulator stores jobs as parallel
+// vectors (submit/duration ticks, IT power, user id) and quantizes time to
+// an integer tick grid:
+//
+//   kTicksPerHour = 1024 (a power of two)
+//
+// so every event time is tick/1024 hours — *exactly* representable as a
+// double (the numerator stays far below 2^53 for any simulated horizon).
+// Sums and differences of tick-quantized hours are therefore exact FP
+// arithmetic, which is what lets fleetsim::FleetEngine reproduce the
+// double-based SchedulingEngine bit for bit on tick-aligned workloads
+// (tests/test_fleetsim.cpp) while matching events with integer compares,
+// no 1e-12 epsilon anywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/units.h"
+#include "sched/job.h"
+
+namespace hpcarbon::fleetsim {
+
+/// Simulation time in ticks since the epoch. 1024 ticks per hour keeps
+/// sub-4-second resolution; int64 never wraps for any realistic horizon.
+using Tick = std::int64_t;
+inline constexpr Tick kTicksPerHour = 1024;
+
+/// Exact: any tick count below 2^53 divides by the power-of-two tick rate
+/// without rounding.
+inline double hours_of(Tick t) {
+  return static_cast<double>(t) / static_cast<double>(kTicksPerHour);
+}
+
+/// Nearest tick to a fractional-hour value (snapping error <= 1/2048 h,
+/// about 1.8 s). Bridges double-based workloads into the tick grid.
+inline Tick nearest_tick(double hours) {
+  return static_cast<Tick>(
+      std::llround(hours * static_cast<double>(kTicksPerHour)));
+}
+
+/// Smallest tick >= the fractional-hour value: policy-planned starts that
+/// are not tick-aligned wake the engine at the next grid point.
+inline Tick ceil_tick(double hours) {
+  return static_cast<Tick>(
+      std::ceil(hours * static_cast<double>(kTicksPerHour)));
+}
+
+/// True when `hours` lies exactly on the tick grid (round-trips through
+/// the tick representation without loss).
+inline bool tick_aligned(double hours) {
+  return hours_of(nearest_tick(hours)) == hours;
+}
+
+/// Parallel-vector job storage. Jobs are kept sorted by submit tick
+/// (validate() enforces it); `user` indexes into the `users` name table so
+/// a million jobs over eight users store eight strings, not a million.
+struct FleetJobs {
+  std::vector<std::int32_t> id;        // stable external id (outcome joins)
+  std::vector<Tick> submit;            // sorted ascending
+  std::vector<Tick> duration;          // > 0
+  std::vector<Power> power;            // average IT draw while running
+  std::vector<std::uint32_t> user;     // index into `users`
+  std::vector<std::string> users;      // distinct user names
+
+  std::size_t size() const { return submit.size(); }
+  bool empty() const { return submit.empty(); }
+
+  /// Append one job; `user_name` is interned into `users`.
+  void push(std::int32_t job_id, Tick submit_tick, Tick duration_tick,
+            Power it_power, const std::string& user_name);
+
+  /// Index of `user_name` in `users`, interning it if new. O(users) — the
+  /// user population is small by construction.
+  std::uint32_t intern_user(const std::string& user_name);
+
+  /// Throws hpcarbon::Error unless submits are sorted, durations are
+  /// positive, and every user index is in range.
+  void validate() const;
+
+  /// Quantize a double-based workload onto the tick grid (nearest tick;
+  /// durations clamp up to one tick so no job becomes instantaneous) and
+  /// sort by submit. Ids are preserved.
+  static FleetJobs from_jobs(const std::vector<sched::Job>& jobs);
+
+  /// Materialize sched::Job values (exact: tick times convert to the same
+  /// doubles the engine computes with). Used to brief policies'
+  /// begin_run() and by the parity tests.
+  std::vector<sched::Job> to_jobs() const;
+};
+
+/// Parse a job-trace CSV into FleetJobs. Expected columns, with a header
+/// row (extra columns rejected):
+///
+///   submit_hours,duration_hours,power_kw,user[,site]
+///
+/// The optional `site` column carries the job's origin site from the
+/// recording cluster; it is validated against [0, site_count) and reported
+/// via `origin_site` when requested, but placement stays with the policy.
+/// Throws hpcarbon::Error with 1-based source line numbers on ragged rows,
+/// malformed numbers, non-positive durations or powers, negative submits,
+/// or out-of-range sites — same contract as the grid-trace importer.
+FleetJobs parse_jobs_csv(const std::string& text, std::size_t site_count = 1,
+                         std::vector<std::int32_t>* origin_site = nullptr);
+
+/// read_file + parse_jobs_csv.
+FleetJobs load_jobs_csv(const std::string& path, std::size_t site_count = 1,
+                        std::vector<std::int32_t>* origin_site = nullptr);
+
+}  // namespace hpcarbon::fleetsim

@@ -1,0 +1,26 @@
+#include "fleetsim/uncertainty.h"
+
+#include "core/rng.h"
+
+namespace hpcarbon::fleetsim {
+
+mc::Distribution fleet_savings_distribution(const FleetEngine& engine,
+                                            const FleetWorkloadParams& base,
+                                            const std::string& policy_name,
+                                            const mc::SamplePlan& plan,
+                                            const sched::PolicyConfig& cfg) {
+  const mc::Engine mc_engine(plan);
+  return mc_engine.run([&](std::size_t, Rng& rng) {
+    FleetWorkloadParams wp = base;
+    wp.seed = rng.next_u64();
+    const FleetJobs jobs = generate_fleet_jobs(wp);
+    const auto baseline = sched::make_policy("fcfs-local", cfg);
+    const double base_g =
+        engine.run(jobs, *baseline).total_carbon.to_grams();
+    const auto policy = sched::make_policy(policy_name, cfg);
+    const double g = engine.run(jobs, *policy).total_carbon.to_grams();
+    return base_g > 0 ? 100.0 * (base_g - g) / base_g : 0.0;
+  });
+}
+
+}  // namespace hpcarbon::fleetsim

@@ -1,0 +1,32 @@
+// Monte-Carlo uncertainty for fleet simulations: savings quantiles over
+// workload-generator seeds.
+//
+// A single fleet run answers "what did this policy save on this job
+// stream"; the distribution over seeds answers whether the edge survives
+// a different mix. Sampling rides mc::Engine — sample i draws its
+// workload seed from mc::substream(plan.seed, i), every sample runs a
+// paired fcfs-local baseline on the same jobs, and FleetEngine::run is
+// const — so the quantiles are bit-identical whatever thread count
+// executes them.
+#pragma once
+
+#include <string>
+
+#include "fleetsim/engine.h"
+#include "fleetsim/workload.h"
+#include "mc/distribution.h"
+#include "mc/engine.h"
+#include "sched/policy.h"
+
+namespace hpcarbon::fleetsim {
+
+/// Savings% vs a paired fcfs-local baseline, one draw per workload seed.
+/// `base` supplies everything but the seed, which sample i replaces with
+/// a substream-derived draw. Policies are constructed per sample (they
+/// keep per-run state), priced by `cfg`.
+mc::Distribution fleet_savings_distribution(
+    const FleetEngine& engine, const FleetWorkloadParams& base,
+    const std::string& policy_name, const mc::SamplePlan& plan,
+    const sched::PolicyConfig& cfg = {});
+
+}  // namespace hpcarbon::fleetsim

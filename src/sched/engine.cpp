@@ -54,8 +54,14 @@ ScheduleMetrics SchedulingEngine::run(const std::vector<Job>& jobs,
     return ScheduleMetrics{};
   }
   std::vector<Job> arrivals(jobs);
-  std::sort(arrivals.begin(), arrivals.end(),
-            [](const Job& a, const Job& b) { return a.submit_hour < b.submit_hour; });
+  // Stable: jobs submitted at the same instant keep their input order, so
+  // FCFS tie-breaking (and therefore the whole event sequence) is a
+  // deterministic function of the job list — std::sort may permute equal
+  // submit times, which made tie-heavy runs irreproducible across engines.
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [](const Job& a, const Job& b) {
+                     return a.submit_hour < b.submit_hour;
+                   });
 
   CarbonBudgetLedger ledger;
   std::vector<int> free_slots;
@@ -154,12 +160,18 @@ ScheduleMetrics SchedulingEngine::run(const std::vector<Job>& jobs,
     HPC_REQUIRE(std::isfinite(next_time), "scheduler deadlock");
     t = std::max(t, next_time);
 
-    while (!completions.empty() && completions.top().time <= t + 1e-12) {
+    // Exact comparisons, not `<= t + 1e-12`: every event time is either an
+    // input (submit, submit+duration) or a whole hour, and t only ever
+    // takes those values, so equality is well-defined. The old epsilon
+    // could fire an event up to 1e-12 h early, which made the engine's
+    // event order impossible to reproduce in an integer-tick engine
+    // (src/fleetsim asserts bit-identity against this loop).
+    while (!completions.empty() && completions.top().time <= t) {
       ++free_slots[completions.top().site];
       completions.pop();
     }
     while (next_arrival < arrivals.size() &&
-           arrivals[next_arrival].submit_hour <= t + 1e-12) {
+           arrivals[next_arrival].submit_hour <= t) {
       const Job& j = arrivals[next_arrival];
       waiting.push_back(PendingJob{j, policy.planned_start(j, view)});
       ++next_arrival;

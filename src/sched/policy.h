@@ -34,6 +34,10 @@
 #include "sched/budget.h"
 #include "sched/job.h"
 
+namespace hpcarbon::fleetsim {
+class FleetEngine;  // binds ClusterView for integer-tick runs (src/fleetsim)
+}
+
 namespace hpcarbon::sched {
 
 /// Legacy programmatic identifiers. The registry below is the open,
@@ -117,6 +121,7 @@ class ClusterView {
 
  private:
   friend class SchedulingEngine;
+  friend class ::hpcarbon::fleetsim::FleetEngine;
   const std::vector<Site>* sites_ = nullptr;
   const std::vector<int>* free_slots_ = nullptr;
   const std::vector<op::CarbonIntegrator>* integrators_ = nullptr;

@@ -15,6 +15,9 @@
 #include "lifecycle/scenario.h"
 #include "lifecycle/uncertainty.h"
 #include "lifecycle/upgrade.h"
+#include "fleetsim/engine.h"
+#include "fleetsim/uncertainty.h"
+#include "fleetsim/workload.h"
 #include "op/pue.h"
 #include "sched/engine.h"
 #include "sched/policy.h"
@@ -136,7 +139,12 @@ json::Value evaluate_breakeven(const json::Value& params) {
   return out;
 }
 
-json::Value evaluate_sched(const json::Value& params, TraceStore& traces) {
+/// Site trio shared by the sched and fleetsim families, mirroring
+/// run_scenarios: the home region (regions[0]) plus the two cleanest
+/// (lowest annual median CI) other selected regions as remote options —
+/// same construction, same numbers.
+std::vector<sched::Site> query_sites(const json::Value& params,
+                                     TraceStore& traces) {
   std::vector<std::string> codes;
   for (const auto& item : params.find("regions")->items()) {
     codes.push_back(item.as_string());
@@ -148,9 +156,6 @@ json::Value evaluate_sched(const json::Value& params, TraceStore& traces) {
     summaries.push_back(grid::summarize(*region_traces.back()));
   }
 
-  // Site trio mirrors run_scenarios: the home region plus the two cleanest
-  // (lowest annual median CI) other selected regions as remote options —
-  // same construction, same numbers.
   std::vector<std::size_t> by_median(codes.size());
   for (std::size_t i = 0; i < by_median.size(); ++i) by_median[i] = i;
   std::sort(by_median.begin(), by_median.end(),
@@ -165,6 +170,11 @@ json::Value evaluate_sched(const json::Value& params, TraceStore& traces) {
     sites.push_back(
         sched::make_site(codes[idx], *region_traces[idx], capacity));
   }
+  return sites;
+}
+
+json::Value evaluate_sched(const json::Value& params, TraceStore& traces) {
+  const std::vector<sched::Site> sites = query_sites(params, traces);
 
   sched::WorkloadParams wp;
   wp.horizon_hours = 24.0 * num(params, "days");
@@ -193,6 +203,57 @@ json::Value evaluate_sched(const json::Value& params, TraceStore& traces) {
   out.set("remote_dispatches", json::Value::number(metrics.remote_dispatches));
   out.set("savings_pct", json::Value::number(
                              base_g > 0 ? 100.0 * (base_g - g) / base_g : 0.0));
+  return out;
+}
+
+json::Value evaluate_fleetsim(const json::Value& params, TraceStore& traces) {
+  const std::vector<sched::Site> sites = query_sites(params, traces);
+  const HourOfYear epoch(
+      month_start_hour(static_cast<int>(num(params, "start_month"))));
+  const fleetsim::FleetEngine engine(sites, epoch);
+
+  fleetsim::FleetWorkloadParams wp;
+  wp.process = fleetsim::arrival_process_from(str(params, "process"));
+  wp.horizon_hours = 24.0 * num(params, "days");
+  wp.rate_per_hour = num(params, "rate");
+  wp.seed = static_cast<std::uint64_t>(num(params, "seed"));
+  const fleetsim::FleetJobs jobs = fleetsim::generate_fleet_jobs(wp);
+
+  const auto baseline_policy = sched::make_policy("fcfs-local");
+  const auto base = engine.run(jobs, *baseline_policy);
+  const auto policy = sched::make_policy(str(params, "policy"));
+  const auto metrics = engine.run(jobs, *policy);
+
+  const double base_g = base.total_carbon.to_grams();
+  const double g = metrics.total_carbon.to_grams();
+  json::Value out = json::Value::object();
+  out.set("baseline_carbon_kg",
+          json::Value::number(base.total_carbon.to_kilograms()));
+  out.set("carbon_kg", json::Value::number(metrics.total_carbon.to_kilograms()));
+  out.set("jobs", json::Value::number(static_cast<double>(jobs.size())));
+  out.set("jobs_completed", json::Value::number(metrics.jobs_completed));
+  out.set("mean_wait_hours", json::Value::number(metrics.mean_wait_hours));
+  out.set("p95_wait_hours", json::Value::number(metrics.p95_wait_hours));
+  out.set("process", json::Value::string(fleetsim::to_string(wp.process)));
+  out.set("remote_dispatches", json::Value::number(metrics.remote_dispatches));
+  out.set("savings_pct", json::Value::number(
+                             base_g > 0 ? 100.0 * (base_g - g) / base_g : 0.0));
+  out.set("utilization", json::Value::number(metrics.utilization));
+
+  const int samples = static_cast<int>(num(params, "samples"));
+  if (samples > 0) {
+    // Savings quantiles over workload seeds; pool nullptr keeps serve
+    // evaluation single-threaded per request (batch fan-out already runs
+    // requests in parallel) — the result is bit-identical either way.
+    const mc::SamplePlan plan{
+        samples, static_cast<std::uint64_t>(num(params, "seed")), nullptr};
+    const mc::Distribution d = fleetsim::fleet_savings_distribution(
+        engine, wp, str(params, "policy"), plan);
+    out.set("samples", json::Value::number(samples));
+    out.set("savings_p05", json::Value::number(d.p05()));
+    out.set("savings_p50", json::Value::number(d.p50()));
+    out.set("savings_p95", json::Value::number(d.p95()));
+  }
   return out;
 }
 
@@ -362,6 +423,7 @@ json::Value evaluate(const Query& q, TraceStore& traces) {
   if (q.op == "breakeven") return evaluate_breakeven(params);
   if (q.op == "sched") return evaluate_sched(params, traces);
   if (q.op == "trace") return evaluate_trace(params, traces);
+  if (q.op == "fleetsim") return evaluate_fleetsim(params, traces);
   throw Error("unknown op '" + q.op + "'");
 }
 

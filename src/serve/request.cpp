@@ -314,6 +314,49 @@ void normalize_sched(ParamReader& r) {
   r.integer("seed", 2024, 0, static_cast<long>(kMaxExactInt));
 }
 
+void normalize_fleetsim(ParamReader& r) {
+  // Same trio contract as sched: regions[0] is the home site, the engine
+  // adds the two cleanest others as remote options.
+  const auto regions = r.string_array(
+      "regions", {"ERCOT", "ESO", "CISO"}, 1, grid::all_regions().size());
+  std::set<std::string> seen;
+  for (const auto& code : regions) {
+    check_region(r, "regions", code);
+    if (!seen.insert(code).second) {
+      r.fail("regions", "lists region '" + code + "' twice");
+    }
+  }
+  const std::string policy = r.required_str("policy");
+  const auto desc = sched::find_policy(policy);
+  if (!desc) {
+    std::string known;
+    for (const auto& d : sched::registered_policies()) {
+      known += (known.empty() ? "" : ", ") + d.short_name;
+    }
+    r.fail("policy", "names no registered policy (known: " + known + ")");
+  }
+  r.rewrite("policy", desc->name);
+  const std::string process = r.str("process", "poisson");
+  if (process != "poisson" && process != "diurnal" && process != "bursty") {
+    r.fail("process", "must be one of poisson, diurnal, bursty");
+  }
+  const double days = r.number("days", 28.0, 0.5, 366.0);
+  const double rate = r.number("rate", 4.0, 0.01, 10000.0);
+  // Cross-field guard: the engine simulates millions of jobs per second,
+  // but a serve answer should still be interactive — bound the expected
+  // job count, not each factor alone.
+  if (rate * 24.0 * days > 4.0e6) {
+    r.fail("rate", "implies more than 4000000 expected jobs (rate * days * "
+                   "24); lower rate or days");
+  }
+  r.integer("capacity", 16, 1, 4096);
+  r.integer("start_month", 5, 0, 11);
+  // samples > 0 adds savings quantiles over workload seeds (bounded: each
+  // sample is two full fleet runs).
+  r.integer("samples", 0, 0, 64);
+  r.integer("seed", 2024, 0, static_cast<long>(kMaxExactInt));
+}
+
 void normalize_trace(ParamReader& r) {
   check_region(r, "region", r.required_str("region"));
   r.optional_str("trace_csv");
@@ -334,7 +377,7 @@ void normalize_trace(ParamReader& r) {
 }  // namespace
 
 std::vector<std::string> query_families() {
-  return {"embodied", "lifetime", "breakeven", "sched", "trace"};
+  return {"embodied", "lifetime", "breakeven", "sched", "trace", "fleetsim"};
 }
 
 std::vector<std::string> part_slugs() {
@@ -391,6 +434,7 @@ Query parse_query(const json::Reader& reader, json::Reader::Ref doc) {
   else if (q.op == "breakeven") normalize_breakeven(r);
   else if (q.op == "sched") normalize_sched(r);
   else if (q.op == "trace") normalize_trace(r);
+  else if (q.op == "fleetsim") normalize_fleetsim(r);
   else {
     std::string known;
     for (const auto& f : query_families()) {

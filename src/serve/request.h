@@ -1,10 +1,10 @@
 // Typed carbon queries: the request half of the serve layer.
 //
 // A request is one JSON document: {"op": <family>, "params": {...},
-// "id": <optional echo tag>}. Five scenario families cover the questions
+// "id": <optional echo tag>}. Six scenario families cover the questions
 // the modeling stack answers (each maps onto the same library calls the
-// `run`/`sweep`/`trace` CLI paths make, so service responses agree with
-// the offline tools):
+// `run`/`sweep`/`trace`/`fleetsim` CLI paths make, so service responses
+// agree with the offline tools):
 //
 //   embodied   — Eq. 2-5 breakdown for one catalog part
 //   lifetime   — node lifetime footprint priced on a region CI trace,
@@ -12,6 +12,9 @@
 //   breakeven  — upgrade break-even under a decarbonizing grid
 //   sched      — scheduler-policy carbon savings vs the FCFS baseline
 //   trace      — CI-trace statistics, plus O(1) window-mean queries
+//   fleetsim   — the same policy-vs-FCFS question through the integer-tick
+//                fleet engine (src/fleetsim): seeded arrival processes,
+//                optional savings quantiles over workload seeds
 //
 // parse_query validates strictly (unknown fields, bad types, out-of-range
 // values, and unknown enum names are errors, not defaults) and normalizes:
@@ -33,7 +36,8 @@
 namespace hpcarbon::serve {
 
 struct Query {
-  /// Family name ("embodied", "lifetime", "breakeven", "sched", "trace").
+  /// Family name ("embodied", "lifetime", "breakeven", "sched", "trace",
+  /// "fleetsim").
   std::string op;
   /// Client echo tag (response correlation); excluded from the canonical
   /// key — two requests differing only in id are the same question.
@@ -50,7 +54,7 @@ struct Query {
   json::Value params() const;
 };
 
-/// The five family names, in documentation order.
+/// The six family names, in documentation order.
 std::vector<std::string> query_families();
 
 /// Catalog part slugs accepted by the embodied family, in Table 1/5 order

@@ -1,0 +1,389 @@
+// Fleet-simulator suite: the integer-tick engine must be a bit-identical
+// drop-in for sched::SchedulingEngine on tick-aligned workloads.
+//
+// The parity argument: kTicksPerHour is a power of two, so every tick
+// converts to an exact double, sums of tick-quantized hours are exact FP
+// arithmetic, and the (epsilon-free) SchedulingEngine therefore walks the
+// identical event sequence on the quantized doubles that FleetEngine
+// walks on the ticks. Both engines then evaluate the same accounting
+// expressions on the same doubles — metrics, per-job outcomes, and ledger
+// balances match bitwise, for every registered policy. These tests pin
+// exactly that (EXPECT_EQ on doubles, not a tolerance).
+#include "fleetsim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/thread_pool.h"
+#include "fleetsim/jobs.h"
+#include "fleetsim/uncertainty.h"
+#include "fleetsim/workload.h"
+#include "grid/presets.h"
+#include "grid/simulator.h"
+#include "sched/engine.h"
+#include "sched/policy.h"
+#include "sched/workload_gen.h"
+
+namespace hpcarbon::fleetsim {
+namespace {
+
+// Same paper trio the engine/policy suite uses: ERCOT home, ESO + CISO
+// remote (generate_traces returns fig7_regions order ESO, CISO, ERCOT).
+std::vector<sched::Site> fig7_sites(int capacity = 32) {
+  const auto traces = grid::generate_traces(grid::fig7_regions());
+  return {sched::make_site("ERCOT", traces[2], capacity),
+          sched::make_site("ESO", traces[0], capacity),
+          sched::make_site("CISO", traces[1], capacity)};
+}
+
+/// Snap a double-based workload onto the tick grid, the precondition for
+/// bit-identical parity (continuous submit times are not representable in
+/// either engine's event maths identically otherwise).
+std::vector<sched::Job> quantized(std::vector<sched::Job> jobs) {
+  for (auto& j : jobs) {
+    j.submit_hour = hours_of(nearest_tick(j.submit_hour));
+    j.duration_hours =
+        hours_of(std::max<Tick>(1, nearest_tick(j.duration_hours)));
+  }
+  return jobs;
+}
+
+std::vector<sched::Job> seeded_quantized_jobs() {
+  sched::WorkloadParams wp;
+  wp.horizon_hours = 24 * 10;
+  wp.arrival_rate_per_hour = 2.0;
+  wp.seed = 31337;
+  return quantized(sched::generate_jobs(wp));
+}
+
+sched::PolicyConfig tuned_config() {
+  sched::PolicyConfig cfg;
+  cfg.ci_threshold_g_per_kwh = 320;
+  cfg.max_delay_hours = 12;
+  cfg.user_budget = Mass::kilograms(150);
+  cfg.burn_cap_g_per_hour = 4000;
+  return cfg;
+}
+
+void expect_metrics_bitwise(const sched::ScheduleMetrics& a,
+                            const sched::ScheduleMetrics& b,
+                            const std::string& label) {
+  EXPECT_EQ(a.total_carbon.to_grams(), b.total_carbon.to_grams()) << label;
+  EXPECT_EQ(a.transfer_carbon.to_grams(), b.transfer_carbon.to_grams())
+      << label;
+  EXPECT_EQ(a.total_energy.to_kwh(), b.total_energy.to_kwh()) << label;
+  EXPECT_EQ(a.mean_wait_hours, b.mean_wait_hours) << label;
+  EXPECT_EQ(a.p95_wait_hours, b.p95_wait_hours) << label;
+  EXPECT_EQ(a.utilization, b.utilization) << label;
+  EXPECT_EQ(a.jobs_completed, b.jobs_completed) << label;
+  EXPECT_EQ(a.remote_dispatches, b.remote_dispatches) << label;
+}
+
+TEST(FleetTicks, ConversionsAreExact) {
+  EXPECT_EQ(hours_of(0), 0.0);
+  EXPECT_EQ(hours_of(kTicksPerHour), 1.0);
+  EXPECT_EQ(hours_of(kTicksPerHour / 2), 0.5);
+  // Round-trip: any tick-aligned value survives double conversion.
+  for (Tick t : {Tick{1}, Tick{3}, Tick{1023}, Tick{123456789}}) {
+    EXPECT_EQ(nearest_tick(hours_of(t)), t);
+    EXPECT_TRUE(tick_aligned(hours_of(t)));
+  }
+  EXPECT_FALSE(tick_aligned(0.1));  // 0.1 h is not on a 1/1024 grid
+  EXPECT_EQ(ceil_tick(1.0), kTicksPerHour);
+  EXPECT_EQ(ceil_tick(hours_of(5) + 1e-9), Tick{6});
+}
+
+// The tentpole contract: every registered policy produces bit-identical
+// metrics, outcomes, and ledger balances through both engines on the
+// paper trio.
+TEST(FleetParity, AllRegistryPoliciesBitIdentical) {
+  const auto sites = fig7_sites();
+  const HourOfYear epoch(3624);  // June 1, as the scheduler suite uses
+  const auto jobs = seeded_quantized_jobs();
+  ASSERT_GT(jobs.size(), 200u);
+  const FleetJobs fleet_jobs = FleetJobs::from_jobs(jobs);
+  const sched::PolicyConfig cfg = tuned_config();
+
+  sched::SchedulingEngine oracle(sites, epoch);
+  const FleetEngine fleet(sites, epoch);
+
+  for (const auto& desc : sched::registered_policies()) {
+    std::vector<sched::JobOutcome> oracle_outcomes;
+    sched::CarbonBudgetLedger oracle_ledger;
+    const auto oracle_policy = desc.make(cfg);
+    const auto expected =
+        oracle.run(jobs, *oracle_policy, &oracle_outcomes, &oracle_ledger);
+
+    FleetOutcomes outcomes;
+    sched::CarbonBudgetLedger ledger;
+    const auto fleet_policy = desc.make(cfg);
+    const auto got = fleet.run(fleet_jobs, *fleet_policy, &outcomes, &ledger);
+
+    expect_metrics_bitwise(expected, got, desc.name);
+    ASSERT_EQ(outcomes.size(), oracle_outcomes.size()) << desc.name;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      EXPECT_EQ(outcomes.job_id[i], oracle_outcomes[i].job_id) << desc.name;
+      EXPECT_EQ(sites[outcomes.site[i]].code, oracle_outcomes[i].site)
+          << desc.name;
+      EXPECT_EQ(hours_of(outcomes.start[i]), oracle_outcomes[i].start_hour)
+          << desc.name;
+      EXPECT_EQ(outcomes.wait_hours[i], oracle_outcomes[i].wait_hours)
+          << desc.name;
+      EXPECT_EQ(outcomes.carbon_g[i], oracle_outcomes[i].carbon.to_grams())
+          << desc.name;
+    }
+    for (const auto& user : fleet_jobs.users) {
+      EXPECT_EQ(ledger.spent(user).to_grams(),
+                oracle_ledger.spent(user).to_grams())
+          << desc.name << " user " << user;
+      EXPECT_EQ(ledger.allocation(user).to_grams(),
+                oracle_ledger.allocation(user).to_grams())
+          << desc.name << " user " << user;
+    }
+  }
+}
+
+// Congested parity: capacity small enough that queues build and the
+// hourly-tick / planned-start wake sources all fire.
+TEST(FleetParity, CongestedTrioStaysBitIdentical) {
+  const auto sites = fig7_sites(/*capacity=*/4);
+  const HourOfYear epoch(3624);
+  const auto jobs = seeded_quantized_jobs();
+  const FleetJobs fleet_jobs = FleetJobs::from_jobs(jobs);
+
+  sched::SchedulingEngine oracle(sites, epoch);
+  const FleetEngine fleet(sites, epoch);
+  for (const char* name : {"greedy-lowest-ci", "threshold-delay",
+                           "forecast-delay", "renewable-cap"}) {
+    const auto p1 = sched::make_policy(name);
+    const auto p2 = sched::make_policy(name);
+    expect_metrics_bitwise(oracle.run(jobs, *p1), fleet.run(fleet_jobs, *p2),
+                           name);
+  }
+}
+
+// Tie-heavy parity: bursty workloads submit whole batches at one tick, so
+// FCFS order within a tick must be deterministic in BOTH engines. This is
+// the regression test for SchedulingEngine's former std::sort (unstable:
+// equal submit times could permute, changing dispatch order and therefore
+// the FP summation order under congestion).
+TEST(FleetParity, SameTickSubmissionsStayBitIdentical) {
+  const auto sites = fig7_sites(/*capacity=*/8);
+  const HourOfYear epoch(3624);
+  FleetWorkloadParams p;
+  p.process = ArrivalProcess::kBursty;
+  p.horizon_hours = 24 * 10;
+  p.rate_per_hour = 6.0;
+  p.burst_mean_size = 12.0;
+  const FleetJobs fleet_jobs = generate_fleet_jobs(p);
+  ASSERT_GT(fleet_jobs.size(), 500u);
+
+  sched::SchedulingEngine oracle(sites, epoch);
+  const FleetEngine fleet(sites, epoch);
+  for (const char* name : {"fcfs-local", "greedy-lowest-ci"}) {
+    const auto p1 = sched::make_policy(name);
+    const auto p2 = sched::make_policy(name);
+    expect_metrics_bitwise(oracle.run(fleet_jobs.to_jobs(), *p1),
+                           fleet.run(fleet_jobs, *p2), name);
+  }
+}
+
+TEST(FleetEngineBasics, EmptyFleetYieldsZeroMetrics) {
+  const FleetEngine fleet(fig7_sites(), HourOfYear(0));
+  const auto policy = sched::make_policy("fcfs-local");
+  FleetOutcomes outcomes;
+  const auto m = fleet.run(FleetJobs{}, *policy, &outcomes);
+  EXPECT_EQ(m.jobs_completed, 0);
+  EXPECT_EQ(m.total_carbon.to_grams(), 0.0);
+  EXPECT_EQ(outcomes.size(), 0u);
+}
+
+TEST(FleetEngineBasics, ValidateRejectsBrokenVectors) {
+  FleetJobs jobs;
+  jobs.push(0, 10, 5, Power::kilowatts(1.0), "a");
+  jobs.push(1, 5, 5, Power::kilowatts(1.0), "a");  // out of order
+  EXPECT_THROW(jobs.validate(), Error);
+
+  FleetJobs zero_dur;
+  zero_dur.push(0, 0, 0, Power::kilowatts(1.0), "a");
+  EXPECT_THROW(zero_dur.validate(), Error);
+
+  FleetJobs ragged;
+  ragged.push(0, 0, 1, Power::kilowatts(1.0), "a");
+  ragged.submit.push_back(7);  // desync the parallel vectors
+  EXPECT_THROW(ragged.validate(), Error);
+}
+
+TEST(FleetWorkload, GenerationIsDeterministicPerSeedAndProcess) {
+  FleetWorkloadParams p;
+  p.horizon_hours = 24 * 7;
+  p.rate_per_hour = 6.0;
+  for (const auto process : {ArrivalProcess::kPoisson, ArrivalProcess::kDiurnal,
+                             ArrivalProcess::kBursty}) {
+    p.process = process;
+    const FleetJobs a = generate_fleet_jobs(p);
+    const FleetJobs b = generate_fleet_jobs(p);
+    ASSERT_GT(a.size(), 100u) << to_string(process);
+    EXPECT_EQ(a.submit, b.submit) << to_string(process);
+    EXPECT_EQ(a.duration, b.duration) << to_string(process);
+    EXPECT_EQ(a.user, b.user) << to_string(process);
+    a.validate();
+    // The long-run rate is preserved within sampling noise (20%).
+    const double expected = p.rate_per_hour * p.horizon_hours;
+    EXPECT_NEAR(static_cast<double>(a.size()), expected, 0.2 * expected)
+        << to_string(process);
+  }
+  p.process = ArrivalProcess::kPoisson;
+  p.seed = 777;
+  const FleetJobs other_seed = generate_fleet_jobs(p);
+  p.seed = 2024;
+  const FleetJobs base = generate_fleet_jobs(p);
+  EXPECT_NE(base.submit, other_seed.submit);
+}
+
+TEST(FleetWorkload, AttributeStreamIsSharedAcrossProcesses) {
+  // Substream separation: the duration draw sequence depends only on the
+  // seed, not on which arrival process consumed the arrival stream.
+  FleetWorkloadParams p;
+  p.horizon_hours = 24 * 7;
+  p.rate_per_hour = 6.0;
+  p.process = ArrivalProcess::kPoisson;
+  const FleetJobs poisson = generate_fleet_jobs(p);
+  p.process = ArrivalProcess::kDiurnal;
+  const FleetJobs diurnal = generate_fleet_jobs(p);
+  const std::size_t n = std::min(poisson.size(), diurnal.size());
+  ASSERT_GT(n, 100u);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(poisson.duration[i], diurnal.duration[i]) << i;
+    ASSERT_EQ(poisson.user[i], diurnal.user[i]) << i;
+  }
+}
+
+TEST(FleetWorkload, DiurnalConcentratesArrivalsAroundPeak) {
+  FleetWorkloadParams p;
+  p.process = ArrivalProcess::kDiurnal;
+  p.horizon_hours = 24 * 28;
+  p.rate_per_hour = 8.0;
+  p.diurnal_amplitude = 0.9;
+  const FleetJobs jobs = generate_fleet_jobs(p);
+  std::size_t near_peak = 0;
+  std::size_t near_trough = 0;
+  for (const Tick t : jobs.submit) {
+    const double hour_of_day = std::fmod(hours_of(t), 24.0);
+    if (std::abs(hour_of_day - p.diurnal_peak_hour) <= 3) ++near_peak;
+    const double trough = std::fmod(p.diurnal_peak_hour + 12.0, 24.0);
+    if (std::abs(hour_of_day - trough) <= 3) ++near_trough;
+  }
+  EXPECT_GT(near_peak, 2 * near_trough);
+}
+
+TEST(FleetWorkload, BurstyBatchesShareSubmitTicks) {
+  FleetWorkloadParams p;
+  p.process = ArrivalProcess::kBursty;
+  p.horizon_hours = 24 * 14;
+  p.rate_per_hour = 8.0;
+  p.burst_mean_size = 8.0;
+  const FleetJobs jobs = generate_fleet_jobs(p);
+  ASSERT_GT(jobs.size(), 200u);
+  // Far fewer distinct submit ticks than jobs: batches land together.
+  std::vector<Tick> distinct(jobs.submit);
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  EXPECT_LT(distinct.size() * 3, jobs.size());
+}
+
+std::string data_path(const std::string& name) {
+  return std::string(HPCARBON_TEST_DATA_DIR) + "/" + name;
+}
+
+TEST(FleetReplay, SampleFixtureLoadsAndRuns) {
+  std::vector<std::int32_t> origin;
+  const FleetJobs jobs =
+      load_jobs_csv(data_path("jobs_sample.csv"), /*site_count=*/3, &origin);
+  ASSERT_EQ(jobs.size(), 12u);
+  jobs.validate();
+  ASSERT_EQ(origin.size(), 12u);
+  // Sorted by submit; ids preserve the file's row order.
+  EXPECT_EQ(jobs.id[0], 0);
+  EXPECT_EQ(hours_of(jobs.submit[0]), 0.0);
+  EXPECT_EQ(hours_of(jobs.submit[11]), 24.0);
+  EXPECT_EQ(hours_of(jobs.duration[0]), 2.5);
+  EXPECT_EQ(jobs.users[jobs.user[0]], "alice");
+  EXPECT_EQ(origin[1], 1);  // bob's 0.25h job came from site 1
+  EXPECT_EQ(jobs.power[0].to_kilowatts(), Power::kilowatts(1.2).to_kilowatts());
+
+  const FleetEngine fleet(fig7_sites(), HourOfYear(3624));
+  const auto policy = sched::make_policy("greedy-lowest-ci");
+  const auto m = fleet.run(jobs, *policy);
+  EXPECT_EQ(m.jobs_completed, 12);
+  EXPECT_GT(m.total_carbon.to_grams(), 0.0);
+}
+
+TEST(FleetReplay, ReplayedFixtureMatchesSchedulingEngine) {
+  // Replayed traces go through the same parity contract as synthetic
+  // workloads: the fixture's times are tick-aligned, so both engines
+  // must agree bitwise.
+  const FleetJobs jobs = load_jobs_csv(data_path("jobs_sample.csv"), 3);
+  const auto sites = fig7_sites();
+  sched::SchedulingEngine oracle(sites, HourOfYear(3624));
+  const FleetEngine fleet(sites, HourOfYear(3624));
+  const auto p1 = sched::make_policy("net-benefit");
+  const auto p2 = sched::make_policy("net-benefit");
+  expect_metrics_bitwise(oracle.run(jobs.to_jobs(), *p1),
+                         fleet.run(jobs, *p2), "replay");
+}
+
+void expect_rejects(const std::string& csv, const std::string& needle,
+                    std::size_t site_count = 3) {
+  try {
+    parse_jobs_csv(csv, site_count);
+    FAIL() << "expected rejection mentioning '" << needle << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(FleetReplay, RejectionsCarryLineNumbers) {
+  const std::string header = "submit_hours,duration_hours,power_kw,user\n";
+  // Ragged row (line number from the raw CSV layer).
+  expect_rejects(header + "0,1,1,alice\n2,1,1\n", "ragged CSV row 3");
+  // Negative / zero durations.
+  expect_rejects(header + "0,-2,1,alice\n", "duration_hours must be positive (line 2)");
+  expect_rejects(header + "0,1,1,alice\n1,0,1,bob\n", "line 3");
+  // Negative submit, bad number, empty user.
+  expect_rejects(header + "-1,1,1,alice\n", "negative submit_hours (line 2)");
+  expect_rejects(header + "0,abc,1,alice\n", "non-numeric duration_hours");
+  expect_rejects(header + "0,1,1,\n", "empty user (line 2)");
+  // Out-of-range or fractional site, against site_count=3.
+  const std::string h5 = "submit_hours,duration_hours,power_kw,user,site\n";
+  expect_rejects(h5 + "0,1,1,alice,3\n", "site must be an integer in [0, 3) (line 2)");
+  expect_rejects(h5 + "0,1,1,alice,-1\n", "line 2");
+  expect_rejects(h5 + "0,1,1,alice,1.5\n", "line 2");
+  // Header itself must match.
+  expect_rejects("a,b,c,d\n0,1,1,alice\n", "header must be");
+}
+
+TEST(FleetUncertainty, SavingsDistributionIsThreadCountBitIdentical) {
+  const FleetEngine fleet(fig7_sites(), HourOfYear(3624));
+  FleetWorkloadParams wp;
+  wp.horizon_hours = 24 * 3;
+  wp.rate_per_hour = 2.0;
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const auto d1 = fleet_savings_distribution(fleet, wp, "greedy-lowest-ci",
+                                             {16, 99, &one});
+  const auto d4 = fleet_savings_distribution(fleet, wp, "greedy-lowest-ci",
+                                             {16, 99, &four});
+  EXPECT_EQ(d1.samples(), d4.samples());
+  EXPECT_EQ(d1.p50(), d4.p50());
+  EXPECT_EQ(d1.p05(), d4.p05());
+  EXPECT_EQ(d1.p95(), d4.p95());
+}
+
+}  // namespace
+}  // namespace hpcarbon::fleetsim

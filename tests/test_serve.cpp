@@ -9,6 +9,9 @@
 #include "core/thread_pool.h"
 #include "core/time.h"
 #include "embodied/catalog.h"
+#include "fleetsim/engine.h"
+#include "fleetsim/uncertainty.h"
+#include "fleetsim/workload.h"
 #include "grid/analysis.h"
 #include "hw/node.h"
 #include "lifecycle/footprint.h"
@@ -27,9 +30,10 @@ Query parse(const std::string& line) { return parse_query_line(line); }
 
 TEST(Request, FamiliesAndPartSlugs) {
   const auto families = query_families();
-  ASSERT_EQ(families.size(), 5u);
+  ASSERT_EQ(families.size(), 6u);
   EXPECT_EQ(families[0], "embodied");
   EXPECT_EQ(families[4], "trace");
+  EXPECT_EQ(families[5], "fleetsim");
   // One slug per catalog part, each resolving back to a PartId.
   const auto slugs = part_slugs();
   EXPECT_EQ(slugs.size(), 13u);
@@ -224,6 +228,84 @@ TEST(Evaluate, SchedMatchesRunScenarios) {
             report.rows[1].remote_dispatches);
 }
 
+// Acceptance: the fleetsim family is the FleetEngine answer — same trio
+// construction as sched, same savings arithmetic, and (because the serve
+// trio equals the engine-suite trio here) bit-identical metrics.
+TEST(Evaluate, FleetsimMatchesFleetEngineDirectly) {
+  TraceStore store;
+  const Query q = parse(
+      R"({"op":"fleetsim","params":{"regions":["ERCOT","ESO","CISO"],)"
+      R"("policy":"greedy","days":7,"rate":2,"samples":4}})");
+  const json::Value r = evaluate(q, store);
+
+  const int capacity = 16;
+  std::vector<sched::Site> sites = {
+      sched::make_site("ERCOT", *store.preset("ERCOT"), capacity),
+      sched::make_site("ESO", *store.preset("ESO"), capacity),
+      sched::make_site("CISO", *store.preset("CISO"), capacity)};
+  const fleetsim::FleetEngine engine(sites,
+                                     HourOfYear(month_start_hour(5)));
+  fleetsim::FleetWorkloadParams wp;
+  wp.horizon_hours = 24.0 * 7;
+  wp.rate_per_hour = 2.0;
+  const fleetsim::FleetJobs jobs = fleetsim::generate_fleet_jobs(wp);
+  const auto baseline = sched::make_policy("fcfs-local");
+  const auto base = engine.run(jobs, *baseline);
+  const auto greedy = sched::make_policy("greedy-lowest-ci");
+  const auto metrics = engine.run(jobs, *greedy);
+
+  EXPECT_EQ(r.find("jobs")->as_number(), static_cast<double>(jobs.size()));
+  EXPECT_EQ(r.find("baseline_carbon_kg")->as_number(),
+            base.total_carbon.to_kilograms());
+  EXPECT_EQ(r.find("carbon_kg")->as_number(),
+            metrics.total_carbon.to_kilograms());
+  EXPECT_EQ(r.find("mean_wait_hours")->as_number(), metrics.mean_wait_hours);
+  EXPECT_EQ(r.find("utilization")->as_number(), metrics.utilization);
+  EXPECT_EQ(r.find("process")->as_string(), "poisson");
+
+  const mc::SamplePlan plan{4, 2024, nullptr};
+  const mc::Distribution d =
+      fleetsim::fleet_savings_distribution(engine, wp, "greedy-lowest-ci",
+                                           plan);
+  EXPECT_EQ(r.find("savings_p50")->as_number(), d.p50());
+  EXPECT_EQ(r.find("savings_p05")->as_number(), d.p05());
+  EXPECT_EQ(r.find("savings_p95")->as_number(), d.p95());
+}
+
+TEST(Request, FleetsimValidatesStrictly) {
+  // Short policy names canonicalize into the cache key, like sched.
+  const Query short_name =
+      parse(R"({"op":"fleetsim","params":{"policy":"greedy"}})");
+  const Query canonical =
+      parse(R"({"op":"fleetsim","params":{"policy":"greedy-lowest-ci"}})");
+  EXPECT_EQ(short_name.key, canonical.key);
+  EXPECT_NE(short_name.canonical.find("greedy-lowest-ci"), std::string::npos);
+  // Defaults fill into the canonical form (process, samples, ...).
+  EXPECT_NE(short_name.canonical.find("\"process\":\"poisson\""),
+            std::string::npos);
+
+  EXPECT_THROW(parse(R"({"op":"fleetsim","params":{}})"), Error);  // no policy
+  EXPECT_THROW(
+      parse(R"({"op":"fleetsim","params":{"policy":"warp-drive"}})"), Error);
+  EXPECT_THROW(
+      parse(
+          R"({"op":"fleetsim","params":{"policy":"greedy","process":"weibull"}})"),
+      Error);
+  EXPECT_THROW(
+      parse(
+          R"({"op":"fleetsim","params":{"policy":"greedy","regions":["ESO","ESO"]}})"),
+      Error);
+  EXPECT_THROW(
+      parse(R"({"op":"fleetsim","params":{"policy":"greedy","samples":65}})"),
+      Error);
+  // The cross-field job-count guard: each factor is in range, the product
+  // is not.
+  EXPECT_THROW(
+      parse(
+          R"({"op":"fleetsim","params":{"policy":"greedy","rate":1000,"days":300}})"),
+      Error);
+}
+
 TEST(Evaluate, TraceStatsMatchSummaryAndPrefixSums) {
   TraceStore store;
   const Query q = parse(
@@ -252,17 +334,18 @@ std::vector<std::string> family_lines() {
       R"({"id":"q3","op":"breakeven","params":{}})",
       R"({"id":"q4","op":"sched","params":{"policy":"greedy","days":7,"rate":1}})",
       R"({"id":"q5","op":"trace","params":{"region":"ESO"}})",
+      R"({"id":"q6","op":"fleetsim","params":{"policy":"greedy","days":7,"rate":2}})",
   };
 }
 
-TEST(Engine, AnswersAllFiveFamilies) {
+TEST(Engine, AnswersAllSixFamilies) {
   Engine engine;
   for (const auto& line : family_lines()) {
     const std::string response = engine.handle_line(line);
     EXPECT_NE(response.find("\"ok\":true"), std::string::npos) << response;
     EXPECT_NE(response.find("\"result\":{"), std::string::npos) << response;
   }
-  EXPECT_EQ(engine.cache_stats().inserts, 5u);
+  EXPECT_EQ(engine.cache_stats().inserts, 6u);
 }
 
 TEST(Engine, ErrorResponsesEchoTheIdAndAreNotCached) {
@@ -315,7 +398,7 @@ TEST(Engine, BatchMatchesSequentialByteForByte) {
   EXPECT_EQ(bs.hits, 1u);
   EXPECT_EQ(ss.hits, 1u);
   EXPECT_EQ(bs.misses, ss.misses);
-  EXPECT_EQ(bs.inserts, 5u);
+  EXPECT_EQ(bs.inserts, 6u);
 }
 
 // Acceptance: the batch planner is bit-identical for any worker count.
