@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cli/fleetsim_tool.h"
+#include "cli/metrics_tool.h"
 #include "cli/registry.h"
 #include "cli/scenario_runner.h"
 #include "cli/serve_tool.h"
@@ -94,6 +95,14 @@ int usage(std::ostream& out, int exit_code) {
          "instead of a pipe\n"
          "      [--workers N] [--max-conns N] [--max-inflight N] "
          "[--idle-timeout S]\n"
+         "      [--metrics-unix PATH]    Prometheus scrape socket (see "
+         "README \"Observability\")\n"
+         "      [--stats-interval S]     periodic one-line stats summary "
+         "on stderr\n"
+         "  metrics --unix PATH          scrape a daemon's metrics socket "
+         "(Prometheus text)\n"
+         "      [--local]                print this process's own registry "
+         "instead\n"
          "  bench <name> [args...]       run one figure/table/ablation "
          "bench\n"
          "  example <name> [args...]     run one example\n"
@@ -281,6 +290,7 @@ int dispatch(int argc, char** argv, std::ostream& out, std::ostream& err) {
   if (cmd == "trace") return cmd_trace(argc - 2, argv + 2);
   if (cmd == "batch") return cmd_batch(argc - 2, argv + 2);
   if (cmd == "serve") return cmd_serve(argc - 2, argv + 2);
+  if (cmd == "metrics") return cmd_metrics(argc - 2, argv + 2);
   if (cmd == "bench" || cmd == "example") {
     if (argc < 3) {
       err << "hpcarbon " << cmd << ": missing tool name\n";

@@ -1,16 +1,23 @@
 #include "cli/serve_tool.h"
 
+#include <chrono>
+#include <condition_variable>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cli/dispatch.h"
 #include "core/csv.h"
 #include "core/error.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 #include "net/framing.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/scrape.h"
 #include "serve/engine.h"
 #include "serve/limits.h"
 
@@ -23,6 +30,9 @@ struct FrontEndOptions {
   std::string input_path;  // batch only; "-" reads stdin
   std::string out_path;    // batch only; empty writes stdout
   std::size_t threads = 0;
+  // Serve-only observability endpoints (pipe and socket modes).
+  std::string metrics_unix;      // --metrics-unix PATH (Prometheus scrape)
+  double stats_interval_s = 0;   // --stats-interval SECS (stderr summary)
   // Socket mode (serve only): active when listen or unix_path is set.
   std::string listen;     // --listen HOST:PORT
   std::string unix_path;  // --unix PATH
@@ -124,7 +134,102 @@ bool parse_net_flag(const std::string& arg, int argc, char** argv, int& i,
     opts.idle_timeout_s = s;
     return true;
   }
+  if (arg == "--metrics-unix") {
+    opts.metrics_unix = next_value("--metrics-unix", argc, argv, i);
+    return true;
+  }
+  if (arg == "--stats-interval") {
+    const std::string v = next_value("--stats-interval", argc, argv, i);
+    std::size_t consumed = 0;
+    double s = 0;
+    try {
+      s = std::stod(v, &consumed);
+    } catch (const std::exception&) {
+      consumed = 0;
+    }
+    if (consumed != v.size() || s < 0) {
+      throw Error("--stats-interval expects seconds (0 disables), got '" + v +
+                  "'");
+    }
+    opts.stats_interval_s = s;
+    return true;
+  }
   return false;
+}
+
+/// One-line operational summary on stderr, assembled from the engine's
+/// obs registry (stderr only — stdout is the data plane).
+void print_stats_summary(serve::Engine& engine) {
+  engine.sync_metrics();
+  std::uint64_t requests = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  obs::Histogram::Snapshot lat;
+  for (const auto& s : engine.registry().snapshot()) {
+    if (s.name == "hpcarbon_serve_requests_total") {
+      requests += static_cast<std::uint64_t>(s.value);
+    } else if (s.name == "hpcarbon_serve_total_latency_us") {
+      lat.merge(s.hist);
+    } else if (s.name == "hpcarbon_cache_hits_total") {
+      cache_hits = s.value;
+    } else if (s.name == "hpcarbon_cache_misses_total") {
+      cache_misses = s.value;
+    }
+  }
+  std::cerr << "hpcarbon serve: " << requests << " requests, cache "
+            << cache_hits << " hits / " << cache_misses << " misses, p50 "
+            << lat.quantile_us(0.50) << " us, p99 " << lat.quantile_us(0.99)
+            << " us\n";
+}
+
+/// `--stats-interval SECS`: a background thread printing the summary
+/// line every interval until destruction (daemon liveness signal when
+/// stdout is a busy pipe).
+class PeriodicStats {
+ public:
+  PeriodicStats(serve::Engine& engine, double interval_s) {
+    if (interval_s <= 0) return;
+    thread_ = std::thread([this, &engine, interval_s] {
+      const auto interval = std::chrono::duration<double>(interval_s);
+      MutexLock lock(mu_);
+      while (!stop_) {
+        // Print only on a real timeout: a spurious wake (or the stop
+        // notify) re-checks the flag instead.
+        if (cv_.wait_for(mu_, interval) == std::cv_status::no_timeout) {
+          continue;
+        }
+        if (!stop_) print_stats_summary(engine);
+      }
+    });
+  }
+
+  ~PeriodicStats() {
+    if (!thread_.joinable()) return;
+    {
+      MutexLock lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  AnnotatedMutex mu_;
+  std::condition_variable_any cv_;
+  bool stop_ HPCARBON_GUARDED_BY(mu_) = false;
+  std::thread thread_;
+};
+
+/// `--metrics-unix PATH`: Prometheus scrape endpoint over the engine's
+/// registry, mirroring cache/trace counters before every snapshot.
+std::unique_ptr<obs::ScrapeServer> start_scrape_server(
+    const std::string& path, serve::Engine& engine) {
+  if (path.empty()) return nullptr;
+  auto scrape = std::make_unique<obs::ScrapeServer>(
+      path, &engine.registry(), [&engine] { engine.sync_metrics(); });
+  scrape->start();
+  std::cerr << "hpcarbon serve: metrics on unix " << path << "\n";
+  return scrape;
 }
 
 void size_pool(const FrontEndOptions& opts) {
@@ -165,6 +270,9 @@ std::string read_all_of_stdin() {
 /// answer here without ever being buffered whole.
 int serve_pipe(const FrontEndOptions& opts) {
   serve::Engine engine(opts.serve);
+  const std::unique_ptr<obs::ScrapeServer> scrape =
+      start_scrape_server(opts.metrics_unix, engine);
+  PeriodicStats reporter(engine, opts.stats_interval_s);
   net::LineFramer framer;
   std::string response;  // reused across lines (handle_line_to appends)
   char chunk[65536];
@@ -200,6 +308,14 @@ int serve_pipe(const FrontEndOptions& opts) {
 int serve_sockets(const FrontEndOptions& opts) {
   net::ServerOptions sopts;
   sopts.serve = opts.serve;
+  // Daemon uptime: the stats op's uptime_s field and the
+  // hpcarbon_process_uptime_seconds gauge (whole seconds since start).
+  const auto started = std::chrono::steady_clock::now();
+  sopts.serve.uptime = [started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started)
+        .count();
+  };
   sopts.tcp = opts.listen;
   sopts.unix_path = opts.unix_path;
   sopts.workers = opts.workers;
@@ -209,6 +325,9 @@ int serve_sockets(const FrontEndOptions& opts) {
 
   net::Server server(std::move(sopts));
   server.start();
+  const std::unique_ptr<obs::ScrapeServer> scrape =
+      start_scrape_server(opts.metrics_unix, server.engine());
+  PeriodicStats reporter(server.engine(), opts.stats_interval_s);
   std::cerr << "hpcarbon serve: listening on";
   if (!server.tcp_endpoint().empty()) {
     std::cerr << " tcp " << server.tcp_endpoint();
@@ -224,9 +343,9 @@ int serve_sockets(const FrontEndOptions& opts) {
 
   const auto& fe = server.stats();
   std::cerr << "hpcarbon serve: drained; "
-            << fe.connections_accepted.load() << " connections, "
-            << fe.bytes_in.load() << " bytes in, " << fe.bytes_out.load()
-            << " bytes out, " << fe.requests_shed.load() << " shed\n";
+            << fe.connections_accepted.value() << " connections, "
+            << fe.bytes_in.value() << " bytes in, " << fe.bytes_out.value()
+            << " bytes out, " << fe.requests_shed.value() << " shed\n";
   return 0;
 }
 

@@ -20,6 +20,12 @@
 // mode, where there is no transport). All front-ends share the
 // serve::kMaxRequestLineBytes line limit: an oversized request line is
 // answered with an ok:false response reporting its byte count.
+//
+// Observability (README "Observability"): `{"op":"metrics"}` returns the
+// full obs registry as JSON; `--metrics-unix PATH` exposes a Prometheus
+// scrape socket (read with `hpcarbon metrics --unix PATH`); and
+// `--stats-interval SECS` prints a one-line operational summary to
+// stderr every interval.
 #pragma once
 
 namespace hpcarbon::cli {
@@ -30,7 +36,8 @@ int cmd_batch(int argc, char** argv);
 
 /// `hpcarbon serve [--threads N] [--cache-mb M] [--shards N]
 /// [--listen HOST:PORT] [--unix PATH] [--workers N] [--max-conns N]
-/// [--max-inflight N] [--idle-timeout SECONDS]`.
+/// [--max-inflight N] [--idle-timeout SECONDS] [--metrics-unix PATH]
+/// [--stats-interval SECS]`.
 int cmd_serve(int argc, char** argv);
 
 }  // namespace hpcarbon::cli

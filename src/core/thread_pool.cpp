@@ -16,6 +16,32 @@ thread_local const ThreadPool* t_current_pool = nullptr;
 
 std::atomic<std::size_t> g_global_threads{0};
 
+/// Pool instruments, bound once to the global registry (pools are process
+/// infrastructure; private-registry front-ends get the same *names* via
+/// ThreadPool::register_metrics and report zeros).
+struct PoolMetrics {
+  obs::Histogram& queue_wait_us;
+  obs::Histogram& task_run_us;
+  obs::Counter& tasks;
+};
+
+PoolMetrics bind_pool_metrics(obs::MetricsRegistry& reg) {
+  return PoolMetrics{
+      reg.histogram("hpcarbon_pool_queue_wait_us", {},
+                    "Time submitted tasks wait in the ThreadPool queue "
+                    "before a worker dequeues them"),
+      reg.histogram("hpcarbon_pool_task_run_us", {},
+                    "ThreadPool task execution time"),
+      reg.counter("hpcarbon_pool_tasks_total", {},
+                  "Tasks executed by ThreadPool workers"),
+  };
+}
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m = bind_pool_metrics(obs::MetricsRegistry::global());
+  return m;
+}
+
 std::size_t global_thread_count() {
   const std::size_t hint = g_global_threads.load();
   if (hint > 0) return hint;
@@ -52,8 +78,9 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   t_current_pool = this;
+  PoolMetrics& m = pool_metrics();
   for (;;) {
-    std::function<void()> task;
+    Queued task;
     {
       MutexLock lock(mu_);
       // Explicit predicate loop (not the lambda overload): the analysis
@@ -64,8 +91,16 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    const std::uint64_t start = obs::ticks();
+    m.queue_wait_us.record_ns(obs::elapsed_ns(task.enqueued_at, start));
+    task.fn();
+    m.task_run_us.record_ns(obs::elapsed_ns(start, obs::ticks()));
+    m.tasks.inc();
   }
+}
+
+void ThreadPool::register_metrics(obs::MetricsRegistry& registry) {
+  bind_pool_metrics(registry);
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

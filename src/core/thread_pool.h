@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <queue>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "core/thread_annotations.h"
+#include "obs/metrics.h"
 
 namespace hpcarbon {
 
@@ -31,7 +33,9 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Enqueue a task; returns a future for its completion. The enqueue
+  /// timestamp rides along so worker_loop can report queue-wait and
+  /// task-run latency (hpcarbon_pool_* in obs::MetricsRegistry::global()).
   template <class F>
   std::future<void> submit(F&& fn) HPCARBON_EXCLUDES(mu_) {
     auto task = std::make_shared<std::packaged_task<void()>>(
@@ -39,7 +43,7 @@ class ThreadPool {
     std::future<void> fut = task->get_future();
     {
       MutexLock lock(mu_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.emplace(Queued{[task] { (*task)(); }, obs::ticks()});
     }
     cv_.notify_one();
     return fut;
@@ -68,12 +72,24 @@ class ThreadPool {
   /// variable identically.
   static std::size_t env_thread_hint();
 
+  /// Register the pool's hpcarbon_pool_* instrument names in `registry`
+  /// (idempotent, values untouched). Pools always *record* into the
+  /// global registry; front-ends scraping a private registry call this
+  /// so their metric set matches the global one — the property behind
+  /// the byte-stable idle {"op":"metrics"} snapshot.
+  static void register_metrics(obs::MetricsRegistry& registry);
+
  private:
+  struct Queued {
+    std::function<void()> fn;
+    std::uint64_t enqueued_at = 0;  // obs::ticks() at submit
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
   AnnotatedMutex mu_;
-  std::queue<std::function<void()>> queue_ HPCARBON_GUARDED_BY(mu_);
+  std::queue<Queued> queue_ HPCARBON_GUARDED_BY(mu_);
   /// condition_variable_any: its wait takes the AnnotatedMutex directly,
   /// keeping the guarded-access proofs intact across the wait.
   std::condition_variable_any cv_;

@@ -10,6 +10,25 @@
 
 namespace hpcarbon::fleetsim {
 
+namespace {
+
+obs::Counter& bind_jobs_counter(obs::MetricsRegistry& registry) {
+  return registry.counter("hpcarbon_fleetsim_jobs_total", "",
+                          "Jobs simulated by the fleet engine.");
+}
+
+obs::Counter& jobs_counter() {
+  static obs::Counter& counter =
+      bind_jobs_counter(obs::MetricsRegistry::global());
+  return counter;
+}
+
+}  // namespace
+
+void register_metrics(obs::MetricsRegistry& registry) {
+  bind_jobs_counter(registry);
+}
+
 void FleetOutcomes::clear() {
   job_id.clear();
   site.clear();
@@ -221,6 +240,7 @@ sched::ScheduleMetrics FleetEngine::run(const FleetJobs& jobs,
   metrics.utilization =
       makespan > 0 ? busy_node_hours / (capacity_total() * makespan) : 0.0;
   if (ledger_out != nullptr) *ledger_out = ledger;
+  jobs_counter().inc(n);
   return metrics;
 }
 

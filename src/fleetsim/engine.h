@@ -31,6 +31,7 @@
 
 #include "core/time.h"
 #include "fleetsim/jobs.h"
+#include "obs/metrics.h"
 #include "op/operational.h"
 #include "op/pue.h"
 #include "sched/budget.h"
@@ -39,6 +40,12 @@
 #include "sched/policy.h"
 
 namespace hpcarbon::fleetsim {
+
+/// Register the fleetsim instrument names (hpcarbon_fleetsim_jobs_total)
+/// in `registry` so private-registry consumers expose the same metric
+/// set as the process-global one. Runs always record into
+/// MetricsRegistry::global(); a private registry reports 0.
+void register_metrics(obs::MetricsRegistry& registry);
 
 /// Per-job outcomes in dispatch order, struct-of-arrays (a million jobs
 /// are five flat vectors, not a million strings).

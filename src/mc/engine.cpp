@@ -2,6 +2,29 @@
 
 namespace hpcarbon::mc {
 
+namespace {
+
+obs::Counter& bind_samples_counter(obs::MetricsRegistry& registry) {
+  return registry.counter("hpcarbon_mc_samples_total", "",
+                          "Monte-Carlo draws executed.");
+}
+
+}  // namespace
+
+void register_metrics(obs::MetricsRegistry& registry) {
+  bind_samples_counter(registry);
+}
+
+namespace detail {
+
+obs::Counter& samples_counter() {
+  static obs::Counter& counter =
+      bind_samples_counter(obs::MetricsRegistry::global());
+  return counter;
+}
+
+}  // namespace detail
+
 std::uint64_t stream_base(std::uint64_t seed) {
   // The first of substream's two chained SplitMix64 finalizations: it
   // decorrelates the user seed (so seeds 1, 2, 3… do not yield adjacent

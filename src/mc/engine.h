@@ -43,8 +43,21 @@
 #include "core/rng.h"
 #include "core/thread_pool.h"
 #include "mc/distribution.h"
+#include "obs/metrics.h"
 
 namespace hpcarbon::mc {
+
+/// Register the mc instrument names (hpcarbon_mc_samples_total) in
+/// `registry` so private-registry consumers (tests, isolated engines)
+/// expose the same metric set as the process-global one. Draws always
+/// record into MetricsRegistry::global(); a private registry reports 0.
+void register_metrics(obs::MetricsRegistry& registry);
+
+namespace detail {
+/// Process-global draw tally, bound to MetricsRegistry::global() on
+/// first use (one counter inc per run_* call, never per sample).
+obs::Counter& samples_counter();
+}  // namespace detail
 
 struct SamplePlan {
   int samples = 4096;
@@ -106,6 +119,7 @@ class Engine {
         out[i] = fn(i, rng);
       }
     });
+    detail::samples_counter().inc(n);
     return out;
   }
 
@@ -134,6 +148,7 @@ class Engine {
         fn(i, rng, std::span<double>(buffer.data() + i * outputs, outputs));
       }
     });
+    detail::samples_counter().inc(n);
     std::vector<Distribution> dists;
     dists.reserve(outputs);
     for (std::size_t k = 0; k < outputs; ++k) {

@@ -43,6 +43,11 @@ std::uint64_t epoll_key(int fd, std::uint32_t gen) {
 constexpr std::size_t kOutBlockTarget = std::size_t{32} << 10;
 constexpr int kMaxIov = 16;
 
+obs::MetricsRegistry& registry_of(const ServerOptions& opts) {
+  return opts.serve.registry != nullptr ? *opts.serve.registry
+                                        : obs::MetricsRegistry::global();
+}
+
 }  // namespace
 
 struct Server::Conn {
@@ -62,6 +67,7 @@ struct Server::Conn {
   std::size_t front_off = 0;
   std::size_t out_bytes = 0;
   std::uint64_t last_activity_ms = 0;
+  std::uint64_t opened_at_ticks = 0;  // obs::ticks() at accept
   std::uint32_t interest = 0;  // current epoll event mask
   bool got_eof = false;
   bool paused = false;  // read high-watermark backpressure
@@ -70,6 +76,16 @@ struct Server::Conn {
 
 Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
+      fe_stats_(registry_of(opts_)),
+      connections_closed_(registry_of(opts_).counter(
+          "hpcarbon_net_connections_closed_total", "", "Connections closed.")),
+      queue_depth_(registry_of(opts_).gauge(
+          "hpcarbon_net_queue_depth", "",
+          "Requests queued or executing on the worker pool.")),
+      conn_lifetime_us_(registry_of(opts_).histogram(
+          "hpcarbon_net_conn_lifetime_us", "",
+          "Connection lifetime, accept to close (overflow bucket past "
+          "100 s).")),
       engine_((opts_.serve.frontend = &fe_stats_, opts_.serve)) {}
 
 Server::~Server() {
@@ -177,6 +193,7 @@ void Server::accept_ready(int listen_fd) {
     c->fd = fd;
     c->gen = ++conn_gen_;
     c->last_activity_ms = now_ms_;
+    c->opened_at_ticks = obs::ticks();
     c->interest = EPOLLIN;
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -186,8 +203,8 @@ void Server::accept_ready(int listen_fd) {
       continue;
     }
     conns_.emplace(fd, std::move(c));
-    fe_stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
-    fe_stats_.connections_active.fetch_add(1, std::memory_order_relaxed);
+    fe_stats_.connections_accepted.inc();
+    fe_stats_.connections_active.add(1);
   }
 }
 
@@ -196,7 +213,10 @@ void Server::close_conn(const std::shared_ptr<Conn>& c) {
   c->closed = true;
   epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
   ::close(c->fd);
-  fe_stats_.connections_active.fetch_sub(1, std::memory_order_relaxed);
+  fe_stats_.connections_active.sub(1);
+  connections_closed_.inc();
+  conn_lifetime_us_.record_ns(
+      obs::elapsed_ns(c->opened_at_ticks, obs::ticks()));
   conns_.erase(c->fd);  // `c` is the caller's own shared_ptr; still valid
 }
 
@@ -237,9 +257,7 @@ void Server::enqueue_line(const std::shared_ptr<Conn>& c,
   if (opts_.workers == 0) {
     // Inline mode: answer on the IO thread, straight into the output
     // block — the same zero-copy handle_line_to path the pipe loop uses.
-    if (fe_stats_.max_inflight.load(std::memory_order_relaxed) == 0) {
-      fe_stats_.max_inflight.store(1, std::memory_order_relaxed);
-    }
+    fe_stats_.max_inflight.observe_max(1);
     std::string& block = out_block(*c);
     const std::size_t before = block.size();
     engine_.handle_line_to(line, block);
@@ -251,7 +269,7 @@ void Server::enqueue_line(const std::shared_ptr<Conn>& c,
   slot.line.assign(line);
   if (!try_submit(c, &slot)) {
     // Shed: answer in-order with an explicit error instead of queueing.
-    fe_stats_.requests_shed.fetch_add(1, std::memory_order_relaxed);
+    fe_stats_.requests_shed.inc();
     serve::append_error_response(
         slot.response, {},
         "server overloaded: in-flight queue full (max " +
@@ -305,8 +323,7 @@ void Server::read_ready(const std::shared_ptr<Conn>& c) {
   for (int i = 0; i < 8 && !c->closed && !c->paused; ++i) {
     const ssize_t n = ::recv(c->fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
-      fe_stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(n),
-                                   std::memory_order_relaxed);
+      fe_stats_.bytes_in.inc(static_cast<std::uint64_t>(n));
       c->last_activity_ms = now_ms_;
       c->framer.feed(std::string_view(chunk, static_cast<std::size_t>(n)));
       process_framed(c, /*at_eof=*/false);
@@ -370,8 +387,7 @@ void Server::flush(const std::shared_ptr<Conn>& c) {
       close_conn(c);  // EPIPE/ECONNRESET: peer is gone
       return;
     }
-    fe_stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(n),
-                                  std::memory_order_relaxed);
+    fe_stats_.bytes_out.inc(static_cast<std::uint64_t>(n));
     c->last_activity_ms = now_ms_;
     c->out_bytes -= static_cast<std::size_t>(n);
     std::size_t left = static_cast<std::size_t>(n);
@@ -551,9 +567,10 @@ bool Server::try_submit(std::shared_ptr<Conn> c, Slot* slot) {
     if (inflight >= opts_.max_inflight) return false;
     task_queue_.push_back(Task{std::move(c), slot});
     const auto seen = static_cast<std::uint64_t>(inflight + 1);
+    queue_depth_.set(static_cast<std::int64_t>(seen));
     if (seen > max_inflight_seen_) {
       max_inflight_seen_ = seen;
-      fe_stats_.max_inflight.store(seen, std::memory_order_relaxed);
+      fe_stats_.max_inflight.observe_max(static_cast<std::int64_t>(seen));
     }
   }
   task_cv_.notify_one();
@@ -587,6 +604,8 @@ void Server::worker_loop() {
     {
       MutexLock lock(task_mu_);
       --executing_;
+      queue_depth_.set(
+          static_cast<std::int64_t>(task_queue_.size() + executing_));
     }
     post_completion(std::move(task.conn));
   }

@@ -56,6 +56,7 @@
 #include <condition_variable>
 
 #include "core/thread_annotations.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/limits.h"
 
@@ -171,6 +172,12 @@ class Server {
 
   ServerOptions opts_;
   serve::FrontEndStats fe_stats_;
+  // Transport instruments beyond the stats-op net_* set, registered in
+  // the same registry as fe_stats_ (serve.registry or the global one):
+  // connection churn, live queue depth, and per-connection lifetime.
+  obs::Counter& connections_closed_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& conn_lifetime_us_;
   serve::Engine engine_;
 
   int epoll_fd_ = -1;

@@ -1,0 +1,156 @@
+#include "obs/export.h"
+
+#include <set>
+
+namespace hpcarbon::obs {
+
+namespace {
+
+/// HELP text with Prometheus escaping (backslash and newline).
+void append_help_escaped(std::string& out, std::string_view help) {
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+/// Nanoseconds as microseconds with exactly three decimals — integer
+/// arithmetic, so the text is bit-deterministic.
+void append_us_from_ns(std::string& out, std::uint64_t ns) {
+  append_u64(out, ns / 1000);
+  const std::uint64_t frac = ns % 1000;
+  out.push_back('.');
+  out.push_back(static_cast<char>('0' + frac / 100));
+  out.push_back(static_cast<char>('0' + frac / 10 % 10));
+  out.push_back(static_cast<char>('0' + frac % 10));
+}
+
+void append_series(std::string& out, const std::string& name,
+                   std::string_view labels) {
+  out += name;
+  if (!labels.empty()) {
+    out.push_back('{');
+    out += labels;
+    out.push_back('}');
+  }
+}
+
+/// `labels` extended with an le="..." pair (histogram bucket series).
+std::string labels_with_le(std::string_view labels, std::string_view le) {
+  std::string merged(labels);
+  if (!merged.empty()) merged.push_back(',');
+  merged += "le=\"";
+  merged += le;
+  merged.push_back('"');
+  return merged;
+}
+
+}  // namespace
+
+void to_prometheus_to(std::string& out,
+                      const std::vector<MetricSample>& samples) {
+  std::set<std::string> described;
+  for (const MetricSample& s : samples) {
+    if (described.insert(s.name).second) {
+      out += "# HELP ";
+      out += s.name;
+      out.push_back(' ');
+      append_help_escaped(out, s.help);
+      out += "\n# TYPE ";
+      out += s.name;
+      out.push_back(' ');
+      out += to_string(s.kind);
+      out.push_back('\n');
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        append_series(out, s.name, s.labels);
+        out.push_back(' ');
+        out += std::to_string(s.value);
+        out.push_back('\n');
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < Histogram::kBuckets - 1; ++b) {
+          cum += s.hist.buckets[b];
+          out += s.name;
+          out += "_bucket{";
+          out += labels_with_le(
+              s.labels, std::to_string(Histogram::kBoundNs[b] / 1000));
+          out += "} ";
+          append_u64(out, cum);
+          out.push_back('\n');
+        }
+        out += s.name;
+        out += "_bucket{";
+        out += labels_with_le(s.labels, "+Inf");
+        out += "} ";
+        append_u64(out, s.hist.count);
+        out.push_back('\n');
+        append_series(out, s.name + "_sum", s.labels);
+        out.push_back(' ');
+        append_us_from_ns(out, s.hist.sum_ns);
+        out.push_back('\n');
+        append_series(out, s.name + "_count", s.labels);
+        out.push_back(' ');
+        append_u64(out, s.hist.count);
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+}
+
+std::string to_prometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  to_prometheus_to(out, samples);
+  return out;
+}
+
+json::Value to_json(const std::vector<MetricSample>& samples,
+                    const std::vector<std::string_view>& exclude_prefixes) {
+  json::Value out = json::Value::object();
+  for (const MetricSample& s : samples) {
+    bool excluded = false;
+    for (const std::string_view prefix : exclude_prefixes) {
+      if (s.name.size() >= prefix.size() &&
+          std::string_view(s.name).substr(0, prefix.size()) == prefix) {
+        excluded = true;
+        break;
+      }
+    }
+    if (excluded) continue;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out.set(s.id(), json::Value::number(static_cast<double>(s.value)));
+        break;
+      case MetricKind::kHistogram: {
+        json::Value h = json::Value::object();
+        h.set("count",
+              json::Value::number(static_cast<double>(s.hist.count)));
+        h.set("mean_us", json::Value::number(s.hist.mean_us()));
+        h.set("p50_us", json::Value::number(s.hist.quantile_us(0.5)));
+        h.set("p99_us", json::Value::number(s.hist.quantile_us(0.99)));
+        h.set("p999_us", json::Value::number(s.hist.quantile_us(0.999)));
+        h.set("sum_us", json::Value::number(
+                            static_cast<double>(s.hist.sum_ns) / 1000.0));
+        out.set(s.id(), std::move(h));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcarbon::obs

@@ -1,0 +1,39 @@
+// Rendering a registry snapshot: Prometheus text exposition and the JSON
+// object behind the {"op":"metrics"} serve family.
+//
+// Both renderings are deterministic functions of the sample vector:
+// integer values print as integers, microsecond sums print with exactly
+// three decimals from integer nanosecond arithmetic, and the JSON form
+// sorts keys — so two snapshots with equal instrument values render to
+// identical bytes regardless of registration interleaving or transport.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.h"
+#include "obs/metrics.h"
+
+namespace hpcarbon::obs {
+
+/// Prometheus text exposition (version 0.0.4) of the samples, in order:
+/// one # HELP / # TYPE pair per metric name (emitted at its first
+/// sample), counters and gauges as plain series, histograms as
+/// cumulative `_bucket{le="..."}` series (bounds in whole microseconds)
+/// plus `_sum` (microseconds, three decimals) and `_count`.
+std::string to_prometheus(const std::vector<MetricSample>& samples);
+void to_prometheus_to(std::string& out,
+                      const std::vector<MetricSample>& samples);
+
+/// JSON object keyed by series id (sorted on dump): counters and gauges
+/// as numbers; histograms as {"count","mean_us","p50_us","p99_us",
+/// "p999_us","sum_us"} summary objects. Samples whose *name* starts with
+/// any of `exclude_prefixes` are dropped — the serve layer excludes the
+/// transport-dependent hpcarbon_net_* / hpcarbon_process_* domains so an
+/// idle {"op":"metrics"} snapshot is byte-identical across
+/// pipe/batch/socket.
+json::Value to_json(const std::vector<MetricSample>& samples,
+                    const std::vector<std::string_view>& exclude_prefixes = {});
+
+}  // namespace hpcarbon::obs

@@ -96,6 +96,8 @@ void ResultCache::put(std::uint64_t key, std::string_view canonical,
 
 CacheStats ResultCache::stats() const {
   CacheStats total;
+  total.shard_entries.reserve(shards_.size());
+  total.shard_bytes.reserve(shards_.size());
   for (const auto& shard : shards_) {
     MutexLock lock(shard->mu);
     total.hits += shard->hits;
@@ -104,6 +106,8 @@ CacheStats ResultCache::stats() const {
     total.inserts += shard->inserts;
     total.entries += shard->lru.size();
     total.bytes += shard->bytes;
+    total.shard_entries.push_back(shard->lru.size());
+    total.shard_bytes.push_back(shard->bytes);
   }
   return total;
 }

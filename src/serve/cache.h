@@ -35,7 +35,10 @@
 namespace hpcarbon::serve {
 
 /// Aggregate counters over all shards (one consistent-enough snapshot;
-/// shards are read one lock at a time).
+/// shards are read one lock at a time), plus the per-shard occupancy
+/// breakdown — totals alone hide shard imbalance, which is exactly what
+/// an operator tuning --shards needs to see ({"op":"stats"} reports
+/// these as the shard_entries / shard_bytes arrays).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -43,6 +46,10 @@ struct CacheStats {
   std::uint64_t inserts = 0;
   std::size_t entries = 0;
   std::size_t bytes = 0;
+  /// Parallel per-shard views, indexed by shard (entries == sum of
+  /// shard_entries, bytes == sum of shard_bytes).
+  std::vector<std::size_t> shard_entries;
+  std::vector<std::size_t> shard_bytes;
 };
 
 class ResultCache {

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 #include "core/error.h"
 #include "core/thread_pool.h"
 #include "core/time.h"
+#include "mc/engine.h"
+#include "obs/export.h"
 #include "serve/limits.h"
 #include "embodied/catalog.h"
 #include "embodied/models.h"
@@ -325,13 +328,13 @@ std::string salvage_id(const json::Reader& reader, json::Reader::Ref doc) {
 }
 
 /// One request line, parsed exactly once and classified. kError carries
-/// its final response; kStats is answered at its sequence point; kQuery
-/// goes through the cache/evaluate path.
+/// its final response; kStats / kMetrics are answered at their sequence
+/// points; kQuery goes through the cache/evaluate path.
 struct Planned {
-  enum class Kind { kError, kStats, kQuery } kind = Kind::kError;
-  Query q;              // kQuery
-  std::string response; // kError
-  std::string stats_id; // kStats
+  enum class Kind { kError, kStats, kMetrics, kQuery } kind = Kind::kError;
+  Query q;                // kQuery
+  std::string response;   // kError
+  std::string control_id; // kStats / kMetrics
 };
 
 Planned plan_line(std::string_view line) {
@@ -362,8 +365,10 @@ Planned plan_line(std::string_view line) {
   if (reader.is_object(doc)) {
     if (const json::Reader::Ref op = reader.find(doc, "op");
         op != kNone && reader.is_string(op) &&
-        reader.as_string(op) == "stats") {
-      // The control request is validated as strictly as any family:
+        (reader.as_string(op) == "stats" ||
+         reader.as_string(op) == "metrics")) {
+      const bool is_stats = reader.as_string(op) == "stats";
+      // The control requests are validated as strictly as any family:
       // unknown fields and a non-string id are errors, not defaults.
       for (json::Reader::Ref f = reader.first_child(doc); f != kNone;
            f = reader.next(f)) {
@@ -372,7 +377,8 @@ Planned plan_line(std::string_view line) {
           p.response = error_response(
               salvage_id(reader, doc),
               "request has unknown top-level field '" + std::string(k) +
-                  "' (stats takes only op and id)");
+                  "' (" + (is_stats ? "stats" : "metrics") +
+                  " takes only op and id)");
           return p;
         }
       }
@@ -381,9 +387,9 @@ Planned plan_line(std::string_view line) {
           p.response = error_response({}, "request 'id' must be a string");
           return p;
         }
-        p.stats_id = reader.as_string(id);
+        p.control_id = reader.as_string(id);
       }
-      p.kind = Planned::Kind::kStats;
+      p.kind = is_stats ? Planned::Kind::kStats : Planned::Kind::kMetrics;
       return p;
     }
   }
@@ -427,8 +433,28 @@ json::Value evaluate(const Query& q, TraceStore& traces) {
   throw Error("unknown op '" + q.op + "'");
 }
 
+FrontEndStats::FrontEndStats(obs::MetricsRegistry& registry)
+    : connections_accepted(registry.counter(
+          "hpcarbon_net_connections_accepted_total", "",
+          "Connections accepted by the socket front-end.")),
+      connections_active(
+          registry.gauge("hpcarbon_net_connections_active", "",
+                         "Currently open client connections.")),
+      requests_shed(
+          registry.counter("hpcarbon_net_requests_shed_total", "",
+                           "Requests rejected by overload shedding.")),
+      bytes_in(registry.counter("hpcarbon_net_bytes_in_total", "",
+                                "Request bytes read from clients.")),
+      bytes_out(registry.counter("hpcarbon_net_bytes_out_total", "",
+                                 "Response bytes written to clients.")),
+      max_inflight(
+          registry.gauge("hpcarbon_net_max_inflight", "",
+                         "High-water mark of requests in flight.")) {}
+
 Engine::Engine(ServeOptions opts)
-    : opts_(opts), cache_(opts.cache_shards, opts.cache_bytes) {}
+    : opts_(std::move(opts)), cache_(opts_.cache_shards, opts_.cache_bytes) {
+  register_instruments();
+}
 
 ThreadPool& Engine::pool() const {
   return opts_.pool != nullptr ? *opts_.pool : ThreadPool::global();
@@ -438,10 +464,133 @@ TraceStore& Engine::traces() const {
   return opts_.traces != nullptr ? *opts_.traces : TraceStore::global();
 }
 
+obs::MetricsRegistry& Engine::registry() const {
+  return opts_.registry != nullptr ? *opts_.registry
+                                   : obs::MetricsRegistry::global();
+}
+
+void Engine::register_instruments() {
+  obs::MetricsRegistry& reg = registry();
+  // Registration order is fixed (families in documentation order, then
+  // the pseudo-families, then the mirrored subsystem instruments) so
+  // every engine, whatever its transport, exposes the same metric set in
+  // the same order — see the idle-snapshot contract in obs/metrics.h.
+  const std::vector<std::string> families = query_families();
+  HPC_REQUIRE(families.size() == kFamilyCount,
+              "engine instrument slots out of sync with query_families()");
+  auto label = [](const std::string& family) {
+    return "family=\"" + family + "\"";
+  };
+  for (std::size_t i = 0; i < kFamilyCount; ++i) {
+    FamilySlots& s = slots_[i];
+    const std::string l = label(families[i]);
+    s.requests = &reg.counter("hpcarbon_serve_requests_total", l,
+                              "Requests answered, by family.");
+    s.parse_us =
+        &reg.histogram("hpcarbon_serve_parse_latency_us", l,
+                       "Request parse+plan latency (batch front-end).");
+    s.eval_us = &reg.histogram("hpcarbon_serve_eval_latency_us", l,
+                               "Cache-miss evaluate+serialize latency.");
+    s.total_us =
+        &reg.histogram("hpcarbon_serve_total_latency_us", l,
+                       "End-to-end request latency, line in to line out "
+                       "(pipe/socket front-ends).");
+  }
+  slots_[kStatsSlot].requests =
+      &reg.counter("hpcarbon_serve_requests_total", label("stats"),
+                   "Requests answered, by family.");
+  slots_[kMetricsSlot].requests =
+      &reg.counter("hpcarbon_serve_requests_total", label("metrics"),
+                   "Requests answered, by family.");
+  slots_[kErrorSlot].requests =
+      &reg.counter("hpcarbon_serve_requests_total", label("error"),
+                   "Requests answered, by family.");
+
+  // Mirrored instruments: the cache shards and the trace store keep their
+  // own authoritative counters; sync_metrics() copies them in at scrape
+  // time (advance_to / set), so the query hot path never double-counts.
+  cache_hits_ = &reg.counter("hpcarbon_cache_hits_total", "",
+                             "ResultCache hits (mirrored at scrape).");
+  cache_misses_ = &reg.counter("hpcarbon_cache_misses_total", "",
+                               "ResultCache misses (mirrored at scrape).");
+  cache_evictions_ = &reg.counter("hpcarbon_cache_evictions_total", "",
+                                  "ResultCache evictions (mirrored at scrape).");
+  cache_inserts_ = &reg.counter("hpcarbon_cache_inserts_total", "",
+                                "ResultCache inserts (mirrored at scrape).");
+  cache_entries_ =
+      &reg.gauge("hpcarbon_cache_entries", "", "Cached results resident.");
+  cache_bytes_ =
+      &reg.gauge("hpcarbon_cache_bytes", "", "Cached result bytes resident.");
+  shard_entries_.clear();
+  shard_bytes_.clear();
+  for (std::size_t i = 0; i < cache_.shard_count(); ++i) {
+    const std::string l = "shard=\"" + std::to_string(i) + "\"";
+    shard_entries_.push_back(
+        &reg.gauge("hpcarbon_cache_shard_entries", l,
+                   "Cached results resident, by shard."));
+    shard_bytes_.push_back(&reg.gauge("hpcarbon_cache_shard_bytes", l,
+                                      "Cached result bytes, by shard."));
+  }
+  trace_hits_ = &reg.counter("hpcarbon_trace_store_hits_total", "",
+                             "TraceStore hits (mirrored at scrape).");
+  trace_misses_ = &reg.counter("hpcarbon_trace_store_misses_total", "",
+                               "TraceStore misses (mirrored at scrape).");
+  trace_entries_ =
+      &reg.gauge("hpcarbon_trace_store_entries", "", "Traces resident.");
+
+  reg.gauge("hpcarbon_build_info",
+            "version=\"" + obs::build_fingerprint() + "\"",
+            "Build fingerprint; value is always 1.")
+      .set(1);
+  uptime_seconds_ = &reg.gauge(
+      "hpcarbon_process_uptime_seconds", "",
+      "Daemon uptime (whole seconds; 0 for the pipe/batch front-ends).");
+
+  // Subsystems that record into the process-global registry register
+  // their names here too, so private-registry engines (tests) expose the
+  // identical metric set — with zero values — as the global one.
+  ThreadPool::register_metrics(reg);
+  mc::register_metrics(reg);
+  fleetsim::register_metrics(reg);
+}
+
+void Engine::sync_metrics() const {
+  MutexLock lock(scrape_mu_);
+  const CacheStats cs = cache_.stats();
+  cache_hits_->advance_to(cs.hits);
+  cache_misses_->advance_to(cs.misses);
+  cache_evictions_->advance_to(cs.evictions);
+  cache_inserts_->advance_to(cs.inserts);
+  cache_entries_->set(static_cast<std::int64_t>(cs.entries));
+  cache_bytes_->set(static_cast<std::int64_t>(cs.bytes));
+  for (std::size_t i = 0; i < shard_entries_.size(); ++i) {
+    shard_entries_[i]->set(static_cast<std::int64_t>(cs.shard_entries[i]));
+    shard_bytes_[i]->set(static_cast<std::int64_t>(cs.shard_bytes[i]));
+  }
+  const TraceStore& ts = traces();
+  trace_hits_->advance_to(ts.hits());
+  trace_misses_->advance_to(ts.misses());
+  trace_entries_->set(static_cast<std::int64_t>(ts.size()));
+  uptime_seconds_->set(
+      opts_.uptime ? static_cast<std::int64_t>(opts_.uptime()) : 0);
+}
+
+std::string Engine::metrics_response(const std::string& id) const {
+  sync_metrics();
+  const json::Value body = obs::to_json(registry().snapshot(),
+                                        {"hpcarbon_net_", "hpcarbon_process_"});
+  std::string response;
+  success_prefix_to(response, id, "metrics");
+  body.dump_to(response, /*sort_keys=*/true);
+  response.push_back('}');
+  return response;
+}
+
 std::string Engine::stats_response(const std::string& id) const {
   const CacheStats cs = cache_.stats();
   const TraceStore& ts = traces();
   json::Value out = json::Value::object();
+  out.set("build", json::Value::string(obs::build_fingerprint()));
   out.set("bytes", json::Value::number(static_cast<double>(cs.bytes)));
   out.set("byte_budget",
           json::Value::number(static_cast<double>(cache_.byte_budget())));
@@ -449,27 +598,60 @@ std::string Engine::stats_response(const std::string& id) const {
   out.set("evictions", json::Value::number(static_cast<double>(cs.evictions)));
   out.set("hits", json::Value::number(static_cast<double>(cs.hits)));
   out.set("inserts", json::Value::number(static_cast<double>(cs.inserts)));
+  // End-to-end line latency over all query families (the obs total_us
+  // histograms merged — associative, so the merge order is irrelevant).
+  // The batch front-end answers whole segments, not lines, so it records
+  // no total_us and reports lat_count 0, like an idle daemon.
+  obs::Histogram::Snapshot lat;
+  for (std::size_t i = 0; i < kFamilyCount; ++i) {
+    lat.merge(slots_[i].total_us->snapshot());
+  }
+  out.set("lat_count", json::Value::number(static_cast<double>(lat.count)));
+  out.set("lat_p50_us", json::Value::number(lat.quantile_us(0.50)));
+  out.set("lat_p99_us", json::Value::number(lat.quantile_us(0.99)));
   out.set("misses", json::Value::number(static_cast<double>(cs.misses)));
   // Transport counters: the socket front-end (src/net) wires its
   // FrontEndStats in through ServeOptions; pipe and batch have no
   // transport and report zeros, so the field set is identical everywhere.
   const FrontEndStats* fe = opts_.frontend;
-  auto net = [&](const std::atomic<std::uint64_t> FrontEndStats::*field) {
-    return json::Value::number(static_cast<double>(
-        fe != nullptr ? (fe->*field).load(std::memory_order_relaxed) : 0));
+  auto tally = [](std::uint64_t v) {
+    return json::Value::number(static_cast<double>(v));
   };
-  out.set("net_accepted", net(&FrontEndStats::connections_accepted));
-  out.set("net_active", net(&FrontEndStats::connections_active));
-  out.set("net_bytes_in", net(&FrontEndStats::bytes_in));
-  out.set("net_bytes_out", net(&FrontEndStats::bytes_out));
-  out.set("net_max_inflight", net(&FrontEndStats::max_inflight));
-  out.set("net_shed", net(&FrontEndStats::requests_shed));
+  auto level = [](std::int64_t v) {
+    return json::Value::number(static_cast<double>(v));
+  };
+  out.set("net_accepted",
+          tally(fe != nullptr ? fe->connections_accepted.value() : 0));
+  out.set("net_active",
+          level(fe != nullptr ? fe->connections_active.value() : 0));
+  out.set("net_bytes_in", tally(fe != nullptr ? fe->bytes_in.value() : 0));
+  out.set("net_bytes_out", tally(fe != nullptr ? fe->bytes_out.value() : 0));
+  out.set("net_max_inflight",
+          level(fe != nullptr ? fe->max_inflight.value() : 0));
+  out.set("net_shed", tally(fe != nullptr ? fe->requests_shed.value() : 0));
+  // Per-shard occupancy, in shard order: imbalance (a hot shard thrashing
+  // while others idle) is invisible in the totals above.
+  json::Value shard_bytes = json::Value::array();
+  json::Value shard_entries = json::Value::array();
+  for (std::size_t i = 0; i < cs.shard_entries.size(); ++i) {
+    shard_entries.push_back(
+        json::Value::number(static_cast<double>(cs.shard_entries[i])));
+    shard_bytes.push_back(
+        json::Value::number(static_cast<double>(cs.shard_bytes[i])));
+  }
+  out.set("shard_bytes", std::move(shard_bytes));
+  out.set("shard_entries", std::move(shard_entries));
   out.set("shards",
           json::Value::number(static_cast<double>(cache_.shard_count())));
   out.set("trace_entries", json::Value::number(static_cast<double>(ts.size())));
   out.set("trace_hits", json::Value::number(static_cast<double>(ts.hits())));
   out.set("trace_misses",
           json::Value::number(static_cast<double>(ts.misses())));
+  out.set("uptime_s",
+          json::Value::number(opts_.uptime
+                                  ? static_cast<double>(static_cast<std::int64_t>(
+                                        opts_.uptime()))
+                                  : 0.0));
   std::string response;
   success_prefix_to(response, id, "stats");
   out.dump_to(response, /*sort_keys=*/true);
@@ -480,7 +662,7 @@ std::string Engine::stats_response(const std::string& id) const {
 namespace {
 
 void answer_query_to(ResultCache& cache, TraceStore& traces, const Query& q,
-                     std::string& out) {
+                     obs::Histogram* eval_us, std::string& out) {
   const std::size_t mark = out.size();
   success_prefix_to(out, q.id, q.op);
   if (cache.get_append(q.key, q.canonical, out)) {
@@ -488,7 +670,9 @@ void answer_query_to(ResultCache& cache, TraceStore& traces, const Query& q,
     return;
   }
   try {
+    const std::uint64_t t0 = obs::ticks();
     const std::string result = evaluate(q, traces).dump(/*sort_keys=*/true);
+    eval_us->record_ns(obs::elapsed_ns(t0, obs::ticks()));
     cache.put(q.key, q.canonical, result);
     out += result;
     out.push_back('}');
@@ -499,10 +683,14 @@ void answer_query_to(ResultCache& cache, TraceStore& traces, const Query& q,
 }
 
 void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
+                    const std::array<FamilySlots, Engine::kSlotCount>& slots,
                     std::vector<Planned>& plan, std::size_t begin,
                     std::size_t end, std::vector<std::string>& responses) {
   // Plan the segment: errors are final, cache hits answer immediately,
-  // and identical in-flight canonical keys dedup to one leader.
+  // and identical in-flight canonical keys dedup to one leader. Request
+  // counters tick here — inside the segment, before the next sequence
+  // point — so a stats/metrics line still reports exactly the requests
+  // ahead of it, as a sequential replay would.
   std::unordered_map<std::uint64_t, std::size_t> first_of;
   std::vector<std::size_t> leaders;
   std::vector<bool> follower(end - begin, false);
@@ -510,8 +698,10 @@ void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
     Planned& p = plan[i];
     if (p.kind == Planned::Kind::kError) {
       responses[i] = p.response;
+      slots[Engine::kErrorSlot].requests->inc();
       continue;
     }
+    slots[static_cast<std::size_t>(p.q.family)].requests->inc();
     if (first_of.count(p.q.key) != 0) {
       follower[i - begin] = true;  // answered from the leader's fill below
       continue;
@@ -534,7 +724,10 @@ void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
     const Query& q = plan[leaders[k]].q;
     std::string& out = responses[leaders[k]];
     try {
+      const std::uint64_t t0 = obs::ticks();
       const std::string result = evaluate(q, traces).dump(/*sort_keys=*/true);
+      slots[static_cast<std::size_t>(q.family)].eval_us->record_ns(
+          obs::elapsed_ns(t0, obs::ticks()));
       cache.put(q.key, q.canonical, result);
       success_prefix_to(out, q.id, q.op);
       out += result;
@@ -554,7 +747,10 @@ void answer_segment(ResultCache& cache, ThreadPool& pool, TraceStore& traces,
   // totals timing-dependent — see the handle_batch contract.)
   for (std::size_t i = begin; i < end; ++i) {
     if (!follower[i - begin]) continue;
-    answer_query_to(cache, traces, plan[i].q, responses[i]);
+    const Planned& p = plan[i];
+    answer_query_to(cache, traces, p.q,
+                    slots[static_cast<std::size_t>(p.q.family)].eval_us,
+                    responses[i]);
   }
 }
 
@@ -567,36 +763,72 @@ std::string Engine::handle_line(std::string_view line) {
 }
 
 void Engine::handle_line_to(std::string_view line, std::string& out) {
+  // The only hot-path instrumentation cost on a warm hit is the two
+  // ticks() reads and one histogram record (~tens of ns) — parse latency
+  // is sampled by the batch front-end, and eval latency only on misses.
+  const std::uint64_t t0 = obs::ticks();
   Planned p = plan_line(line);
   switch (p.kind) {
     case Planned::Kind::kError:
       out += p.response;
+      slots_[kErrorSlot].requests->inc();
       return;
     case Planned::Kind::kStats:
-      out += stats_response(p.stats_id);
+      out += stats_response(p.control_id);
+      slots_[kStatsSlot].requests->inc();
       return;
-    case Planned::Kind::kQuery:
-      answer_query_to(cache_, traces(), p.q, out);
+    case Planned::Kind::kMetrics:
+      // Counted after the snapshot: a metrics response never includes
+      // itself, so the first scrape of an idle engine reads identically
+      // on every transport.
+      out += metrics_response(p.control_id);
+      slots_[kMetricsSlot].requests->inc();
       return;
+    case Planned::Kind::kQuery: {
+      const FamilySlots& slot = slots_[static_cast<std::size_t>(p.q.family)];
+      answer_query_to(cache_, traces(), p.q, slot.eval_us, out);
+      slot.total_us->record_ns(obs::elapsed_ns(t0, obs::ticks()));
+      slot.requests->inc();
+      return;
+    }
   }
 }
 
 std::vector<std::string> Engine::handle_batch(
     const std::vector<std::string>& lines) {
   // Parse every line exactly once, then answer in segments delimited by
-  // {"op":"stats"} control requests: a stats line is a sequence point —
-  // it reports the counters after everything before it and nothing after
-  // it, exactly as a sequential handle_line replay would.
+  // {"op":"stats"} / {"op":"metrics"} control requests: a control line is
+  // a sequence point — it reports the counters after everything before it
+  // and nothing after it, exactly as a sequential handle_line replay
+  // would.
   std::vector<Planned> plan(lines.size());
-  for (std::size_t i = 0; i < lines.size(); ++i) plan[i] = plan_line(lines[i]);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::uint64_t t0 = obs::ticks();
+    plan[i] = plan_line(lines[i]);
+    if (plan[i].kind == Planned::Kind::kQuery) {
+      slots_[static_cast<std::size_t>(plan[i].q.family)].parse_us->record_ns(
+          obs::elapsed_ns(t0, obs::ticks()));
+    }
+  }
 
   std::vector<std::string> responses(lines.size());
   std::size_t segment_start = 0;
   for (std::size_t i = 0; i <= lines.size(); ++i) {
-    if (i < lines.size() && plan[i].kind != Planned::Kind::kStats) continue;
-    answer_segment(cache_, pool(), traces(), plan, segment_start, i,
+    const bool control =
+        i < lines.size() && (plan[i].kind == Planned::Kind::kStats ||
+                             plan[i].kind == Planned::Kind::kMetrics);
+    if (i < lines.size() && !control) continue;
+    answer_segment(cache_, pool(), traces(), slots_, plan, segment_start, i,
                    responses);
-    if (i < lines.size()) responses[i] = stats_response(plan[i].stats_id);
+    if (i < lines.size()) {
+      if (plan[i].kind == Planned::Kind::kStats) {
+        responses[i] = stats_response(plan[i].control_id);
+        slots_[kStatsSlot].requests->inc();
+      } else {
+        responses[i] = metrics_response(plan[i].control_id);
+        slots_[kMetricsSlot].requests->inc();
+      }
+    }
     segment_start = i + 1;
   }
   return responses;

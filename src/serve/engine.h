@@ -22,13 +22,15 @@
 // tools.
 #pragma once
 
-#include <atomic>
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/cache.h"
 #include "serve/request.h"
 
@@ -38,20 +40,24 @@ class ThreadPool;
 
 namespace hpcarbon::serve {
 
-/// Front-end transport counters, reported through the {"op":"stats"}
-/// control request so overload shedding and connection churn are
-/// observable in-band. The socket server (src/net) owns one and updates
-/// it from its event loop and workers; the pipe/batch front-ends have no
-/// transport, report every field as zero, and pass no pointer. Plain
-/// relaxed atomics: each field is a monotonic tally (or high-water mark),
-/// never a cross-field invariant.
+/// Front-end transport instruments (the hpcarbon_net_* obs domain),
+/// reported through the {"op":"stats"} control request as the net_*
+/// fields so overload shedding and connection churn are observable
+/// in-band. The socket server (src/net) owns one — registered against
+/// its metrics registry — and updates it from its event loop and
+/// workers; the pipe/batch front-ends have no transport, report every
+/// field as zero, and pass no pointer. Each field is a monotonic tally,
+/// a level, or a high-water mark, never a cross-field invariant.
 struct FrontEndStats {
-  std::atomic<std::uint64_t> connections_accepted{0};
-  std::atomic<std::uint64_t> connections_active{0};
-  std::atomic<std::uint64_t> requests_shed{0};
-  std::atomic<std::uint64_t> bytes_in{0};
-  std::atomic<std::uint64_t> bytes_out{0};
-  std::atomic<std::uint64_t> max_inflight{0};
+  /// Registers (idempotently) the hpcarbon_net_* series in `registry`.
+  explicit FrontEndStats(obs::MetricsRegistry& registry);
+
+  obs::Counter& connections_accepted;
+  obs::Gauge& connections_active;
+  obs::Counter& requests_shed;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Gauge& max_inflight;
 };
 
 struct ServeOptions {
@@ -66,6 +72,14 @@ struct ServeOptions {
   /// Transport counters surfaced by {"op":"stats"} as the net_* fields;
   /// nullptr (pipe/batch — no transport) reports zeros for all of them.
   const FrontEndStats* frontend = nullptr;
+  /// Metrics sink; nullptr selects obs::MetricsRegistry::global(). Tests
+  /// that assert exact counts pass a private registry (instruments are
+  /// process-shared otherwise).
+  obs::MetricsRegistry* registry = nullptr;
+  /// Daemon uptime in seconds, reported (floored) as the stats uptime_s
+  /// field and the hpcarbon_process_uptime_seconds gauge. Unset (pipe /
+  /// batch — no daemon) reports 0, keeping those modes time-independent.
+  std::function<double()> uptime;
 };
 
 /// Append the canonical error-response document
@@ -82,8 +96,27 @@ void append_error_response(std::string& out, std::string_view id,
 /// answers against direct library calls.
 json::Value evaluate(const Query& q, TraceStore& traces);
 
+/// Per-family instrument slot: resolved once at Engine construction so
+/// the hot path records without touching the registry. The six query
+/// families get the full set; the stats/metrics/error pseudo-families
+/// (slots 6..8) count requests only.
+struct FamilySlots {
+  obs::Counter* requests = nullptr;
+  obs::Histogram* parse_us = nullptr;  // plan_line (batch front-end)
+  obs::Histogram* eval_us = nullptr;   // evaluate + dump (cache misses)
+  obs::Histogram* total_us = nullptr;  // handle_line end to end
+};
+
 class Engine {
  public:
+  /// Instrument-slot layout: query families 0..5 (query_families()
+  /// order), then the control/error pseudo-families.
+  static constexpr std::size_t kFamilyCount = 6;
+  static constexpr std::size_t kStatsSlot = 6;
+  static constexpr std::size_t kMetricsSlot = 7;
+  static constexpr std::size_t kErrorSlot = 8;
+  static constexpr std::size_t kSlotCount = 9;
+
   explicit Engine(ServeOptions opts = {});
 
   Engine(const Engine&) = delete;
@@ -92,8 +125,9 @@ class Engine {
   /// One request line -> one response line (no trailing newline). Invalid
   /// requests yield ok:false responses, never throws. A line longer than
   /// kMaxRequestLineBytes (serve/limits.h) is rejected before parsing
-  /// with the shared oversize error. The {"op":"stats"} control request
-  /// answers cache counters and is itself never cached.
+  /// with the shared oversize error. The {"op":"stats"} and
+  /// {"op":"metrics"} control requests answer counters / the obs
+  /// snapshot and are themselves never cached.
   std::string handle_line(std::string_view line);
 
   /// handle_line, appended to a caller-owned buffer (identical bytes, no
@@ -117,14 +151,43 @@ class Engine {
   CacheStats cache_stats() const { return cache_.stats(); }
   const ServeOptions& options() const { return opts_; }
 
+  /// Mirror the subsystem-owned counters (cache shards, trace store,
+  /// uptime) into the obs registry. Runs before every {"op":"metrics"}
+  /// snapshot; the daemon's Prometheus scrape socket calls it as its
+  /// pre-scrape hook. Thread-safe (scrape mutex); zero hot-path cost.
+  void sync_metrics() const;
+  obs::MetricsRegistry& registry() const;
+
  private:
   ThreadPool& pool() const;
   TraceStore& traces() const;
   /// {"op":"stats"} response body for the current counters.
   std::string stats_response(const std::string& id) const;
+  /// {"op":"metrics"} response body: the obs snapshot as sorted-key JSON,
+  /// transport-dependent domains excluded (see obs/export.h).
+  std::string metrics_response(const std::string& id) const;
+  void register_instruments();
 
   ServeOptions opts_;
   ResultCache cache_;
+
+  /// Hot-path instrument slots (see FamilySlots).
+  std::array<FamilySlots, kSlotCount> slots_{};
+  /// Scrape-sync handles: cache / trace-store counters mirrored into obs
+  /// by sync_metrics (advance_to under scrape_mu_).
+  obs::Counter* cache_hits_ = nullptr;
+  obs::Counter* cache_misses_ = nullptr;
+  obs::Counter* cache_evictions_ = nullptr;
+  obs::Counter* cache_inserts_ = nullptr;
+  obs::Gauge* cache_entries_ = nullptr;
+  obs::Gauge* cache_bytes_ = nullptr;
+  std::vector<obs::Gauge*> shard_entries_;
+  std::vector<obs::Gauge*> shard_bytes_;
+  obs::Counter* trace_hits_ = nullptr;
+  obs::Counter* trace_misses_ = nullptr;
+  obs::Gauge* trace_entries_ = nullptr;
+  obs::Gauge* uptime_seconds_ = nullptr;
+  mutable AnnotatedMutex scrape_mu_;
 };
 
 }  // namespace hpcarbon::serve

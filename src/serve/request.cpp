@@ -428,13 +428,14 @@ Query parse_query(const json::Reader& reader, json::Reader::Ref doc) {
     throw Error("request 'params' must be an object");
   }
 
+  // Family indices match query_families() order.
   ParamReader r(reader, params, q.op);
-  if (q.op == "embodied") normalize_embodied(r);
-  else if (q.op == "lifetime") normalize_lifetime(r);
-  else if (q.op == "breakeven") normalize_breakeven(r);
-  else if (q.op == "sched") normalize_sched(r);
-  else if (q.op == "trace") normalize_trace(r);
-  else if (q.op == "fleetsim") normalize_fleetsim(r);
+  if (q.op == "embodied") { q.family = 0; normalize_embodied(r); }
+  else if (q.op == "lifetime") { q.family = 1; normalize_lifetime(r); }
+  else if (q.op == "breakeven") { q.family = 2; normalize_breakeven(r); }
+  else if (q.op == "sched") { q.family = 3; normalize_sched(r); }
+  else if (q.op == "trace") { q.family = 4; normalize_trace(r); }
+  else if (q.op == "fleetsim") { q.family = 5; normalize_fleetsim(r); }
   else {
     std::string known;
     for (const auto& f : query_families()) {

@@ -46,6 +46,10 @@ struct Query {
   std::string canonical;
   /// FNV-1a/64 of `canonical`.
   std::uint64_t key = 0;
+  /// Index of `op` in query_families() (0..5), set by parse_query: the
+  /// engine's per-family instrument slot (obs latency histograms and
+  /// request counters) without a string compare on the hot path.
+  int family = -1;
 
   /// Normalized parameters (defaults filled, names canonical, validated),
   /// materialized on demand from `canonical`. parse_query builds the

@@ -24,6 +24,7 @@
 #include "net/listener.h"
 #include "net/loadgen.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/limits.h"
 
@@ -179,8 +180,12 @@ std::vector<std::string> fixture_requests() {
 }
 
 /// In-process server on an ephemeral loopback port (and optionally a
-/// UDS); run() on a private thread, drained+joined on destruction.
+/// UDS); run() on a private thread, drained+joined on destruction. Each
+/// TestServer gets its own metrics registry — the process-global one
+/// accumulates across every test in this binary, which would break the
+/// exact transport-counter assertions below.
 struct TestServer {
+  obs::MetricsRegistry registry;
   net::Server server;
   std::thread io;
 
@@ -189,6 +194,7 @@ struct TestServer {
           if (opts.tcp.empty() && opts.unix_path.empty()) {
             opts.tcp = "127.0.0.1:0";
           }
+          if (opts.serve.registry == nullptr) opts.serve.registry = &registry;
           return std::move(opts);
         }()) {
     server.start();
@@ -254,6 +260,31 @@ TEST(NetServer, UnixSocketByteIdenticalToBatch) {
   expect_socket_matches_batch(std::move(opts));
   EXPECT_NE(::access(test_socket_path("uds").c_str(), F_OK), 0)
       << "drain must unlink the socket file";
+}
+
+TEST(NetServer, IdleMetricsSnapshotByteIdenticalToPipe) {
+  // {"op":"metrics"} on an idle engine is transport-blind: the socket
+  // front-end's first response matches a fresh pipe engine byte for
+  // byte. Both sides use private registries (same instrument set, all
+  // zeros) and the JSON rendering excludes the transport-scoped
+  // hpcarbon_net_* / hpcarbon_process_* series, so the accepted
+  // connection itself cannot leak into the comparison.
+  obs::MetricsRegistry pipe_reg;
+  serve::ServeOptions pipe_opts;
+  pipe_opts.registry = &pipe_reg;
+  serve::Engine pipe_engine(pipe_opts);
+  const std::string line = R"({"op":"metrics","id":"m"})";
+  const std::string expected = pipe_engine.handle_line(line);
+
+  net::ServerOptions opts;
+  opts.workers = 2;
+  TestServer ts(std::move(opts));
+  const int fd = ts.connect();
+  send_all(fd, line + "\n");
+  const auto got = read_lines(fd, 1);
+  ::close(fd);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], expected);
 }
 
 TEST(NetServer, PipelinedSplitWritesAnswerInOrder) {
@@ -383,7 +414,7 @@ TEST(NetServer, BoundedInflightShedsInOrderAndRecovers) {
     }
   }
   EXPECT_GT(shed, 0u) << "the overloaded queue must shed";
-  EXPECT_EQ(ts.server.stats().requests_shed.load(), shed);
+  EXPECT_EQ(ts.server.stats().requests_shed.value(), shed);
 
   // After the burst the queue is empty again: new requests succeed.
   send_all(fd, R"({"op":"embodied","id":"post","params":{"part":"epyc-7763"}})"
@@ -538,7 +569,7 @@ TEST(NetRaceStress, ConcurrentClientsSeeOrderedCorrectResponses) {
   }
   for (auto& t : clients) t.join();
   EXPECT_EQ(failures.load(), 0);
-  EXPECT_EQ(ts.server.stats().connections_accepted.load(),
+  EXPECT_EQ(ts.server.stats().connections_accepted.value(),
             static_cast<std::uint64_t>(kClients * kRounds));
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <regex>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,7 @@
 #include "lifecycle/footprint.h"
 #include "lifecycle/scenario.h"
 #include "lifecycle/upgrade.h"
+#include "obs/metrics.h"
 #include "op/pue.h"
 #include "serve/engine.h"
 #include "serve/limits.h"
@@ -468,6 +470,15 @@ TEST(Engine, StatsControlRequestIsValidatedStrictly) {
 
 // A stats line inside a batch is a sequence point: the whole payload,
 // stats included, answers byte-identically to a sequential replay.
+/// Blank out the `lat_*` stats fields: they summarize wall-clock latency
+/// histograms, so their values are inherently timing-dependent and the
+/// batch/sequential byte-identity contract excludes them (batch also
+/// records parse latency during planning, ahead of the control line).
+std::string mask_latency_fields(std::string s) {
+  static const std::regex kLat(R"re("lat_(count|p50_us|p99_us)":[^,}]*)re");
+  return std::regex_replace(s, kLat, "\"lat_$1\":X");
+}
+
 TEST(Engine, StatsInsideBatchMatchesSequentialReplay) {
   const std::vector<std::string> lines = {
       R"({"op":"embodied","params":{"part":"mi250x"}})",
@@ -491,7 +502,8 @@ TEST(Engine, StatsInsideBatchMatchesSequentialReplay) {
   for (const auto& line : lines) seq.push_back(seq_engine.handle_line(line));
   ASSERT_EQ(batch.size(), seq.size());
   for (std::size_t i = 0; i < seq.size(); ++i) {
-    EXPECT_EQ(batch[i], seq[i]) << "line " << i;
+    EXPECT_EQ(mask_latency_fields(batch[i]), mask_latency_fields(seq[i]))
+        << "line " << i;
   }
   // The mid-stream snapshot reflects only the first query...
   EXPECT_NE(batch[1].find("\"inserts\":1"), std::string::npos) << batch[1];
@@ -550,6 +562,97 @@ TEST(Engine, StatsReportsZeroNetCountersWithoutTransport) {
   EXPECT_NE(stats.find("\"net_bytes_out\":0"), std::string::npos);
   EXPECT_NE(stats.find("\"net_max_inflight\":0"), std::string::npos);
   EXPECT_NE(stats.find("\"net_shed\":0"), std::string::npos);
+}
+
+TEST(Engine, StatsReportsBuildUptimeAndLatencySummary) {
+  // The extended stats document: build fingerprint, uptime (0 without a
+  // transport-provided clock), and the latency-histogram summary — all
+  // zero/empty on a fresh engine, lat_count advancing with traffic.
+  obs::MetricsRegistry reg;
+  ServeOptions opts;
+  opts.registry = &reg;
+  Engine engine(opts);
+  const std::string stats = engine.handle_line(R"({"op":"stats"})");
+  EXPECT_NE(stats.find("\"build\":\"" + obs::build_fingerprint() + "\""),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"uptime_s\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"lat_count\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"lat_p50_us\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"lat_p99_us\":0"), std::string::npos);
+  EXPECT_NE(stats.find("\"shard_entries\":[0,0,0,0,0,0,0,0]"),
+            std::string::npos);
+  EXPECT_NE(stats.find("\"shard_bytes\":[0,0,0,0,0,0,0,0]"),
+            std::string::npos);
+  engine.handle_line(family_lines()[0]);
+  const std::string after = engine.handle_line(R"({"op":"stats"})");
+  EXPECT_NE(after.find("\"lat_count\":1"), std::string::npos) << after;
+}
+
+TEST(Engine, MetricsIdleSnapshotIsByteIdenticalAcrossFrontEnds) {
+  // The {"op":"metrics"} snapshot of an idle engine must not leak
+  // transport identity: pipe (handle_line) and batch (handle_batch)
+  // produce the same bytes, and the metrics request itself is counted
+  // only *after* the snapshot, so the first scrape never includes
+  // itself. (The socket front-end funnels into the same handle_line —
+  // test_net covers the wire path.)
+  TraceStore pipe_traces, batch_traces;
+  obs::MetricsRegistry pipe_reg, batch_reg;
+  ServeOptions pipe_opts;
+  pipe_opts.traces = &pipe_traces;
+  pipe_opts.registry = &pipe_reg;
+  Engine pipe_engine(pipe_opts);
+  ServeOptions batch_opts;
+  batch_opts.traces = &batch_traces;
+  batch_opts.registry = &batch_reg;
+  Engine batch_engine(batch_opts);
+
+  const std::string line = R"({"op":"metrics","id":"m1"})";
+  const std::string via_pipe = pipe_engine.handle_line(line);
+  const auto via_batch = batch_engine.handle_batch({line});
+  ASSERT_EQ(via_batch.size(), 1u);
+  EXPECT_EQ(via_pipe, via_batch[0]);
+  EXPECT_NE(via_pipe.find("\"id\":\"m1\""), std::string::npos) << via_pipe;
+  EXPECT_NE(via_pipe.find("\"op\":\"metrics\""), std::string::npos);
+  // Idle snapshot: no transport- or process-scoped series.
+  EXPECT_EQ(via_pipe.find("hpcarbon_net_"), std::string::npos) << via_pipe;
+  EXPECT_EQ(via_pipe.find("hpcarbon_process_"), std::string::npos);
+  // The first scrape reports zero metrics-family requests (not itself)...
+  EXPECT_NE(
+      via_pipe.find("\"hpcarbon_serve_requests_total{family=\\\"metrics\\\"}\":0"),
+      std::string::npos)
+      << via_pipe;
+  // ...and the second sees exactly the first.
+  const std::string second = pipe_engine.handle_line(line);
+  EXPECT_NE(
+      second.find("\"hpcarbon_serve_requests_total{family=\\\"metrics\\\"}\":1"),
+      std::string::npos)
+      << second;
+}
+
+TEST(Engine, MetricsControlRequestIsValidatedStrictly) {
+  Engine engine;
+  // Unknown fields are rejected, and the error names the op.
+  const std::string bad =
+      engine.handle_line(R"({"op":"metrics","bogus":1})");
+  EXPECT_NE(bad.find("\"ok\":false"), std::string::npos) << bad;
+  EXPECT_NE(bad.find("metrics"), std::string::npos) << bad;
+}
+
+TEST(Engine, MetricsCountsQueryTraffic) {
+  obs::MetricsRegistry reg;
+  ServeOptions opts;
+  opts.registry = &reg;
+  Engine engine(opts);
+  engine.handle_line(family_lines()[0]);  // embodied: miss
+  engine.handle_line(family_lines()[0]);  // embodied: hit
+  const std::string m = engine.handle_line(R"({"op":"metrics"})");
+  EXPECT_NE(
+      m.find("\"hpcarbon_serve_requests_total{family=\\\"embodied\\\"}\":2"),
+      std::string::npos)
+      << m;
+  EXPECT_NE(m.find("\"hpcarbon_cache_hits_total\":1"), std::string::npos);
+  EXPECT_NE(m.find("\"hpcarbon_cache_misses_total\":1"), std::string::npos);
 }
 
 TEST(Engine, EvictionKeepsAnsweringCorrectly) {

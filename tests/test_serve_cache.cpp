@@ -157,6 +157,21 @@ TEST(ResultCache, ShardIndependenceUnderThreadHammer) {
   }
   EXPECT_EQ(resident, s.entries);
   EXPECT_EQ(resident_bytes, s.bytes);
+
+  // Shard-balance coherence: the per-shard occupancy arrays (the
+  // hpcarbon_cache_shard_* gauges) must partition the totals exactly —
+  // every entry lives in exactly one shard ledger.
+  ASSERT_EQ(s.shard_entries.size(), 8u);
+  ASSERT_EQ(s.shard_bytes.size(), 8u);
+  std::size_t shard_entry_sum = 0;
+  std::size_t shard_byte_sum = 0;
+  for (std::size_t i = 0; i < s.shard_entries.size(); ++i) {
+    shard_entry_sum += s.shard_entries[i];
+    shard_byte_sum += s.shard_bytes[i];
+    EXPECT_LE(s.shard_bytes[i], cache.byte_budget()) << "shard " << i;
+  }
+  EXPECT_EQ(shard_entry_sum, s.entries);
+  EXPECT_EQ(shard_byte_sum, s.bytes);
 }
 
 TEST(TraceStore, PresetMatchesBatchGeneratorBitForBit) {

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text exposition (version 0.0.4).
+
+CI scrapes the serve daemon's --metrics-unix endpoint and pipes the bytes
+through this checker; tests/test_obs.cpp proves the renderer's goldens,
+this proves the wire format end to end. Checks:
+
+  * line syntax: comments are exactly `# HELP <name> <text>` or
+    `# TYPE <name> <kind>`; samples are `<series> <value>`
+  * every sample's base metric carries a HELP and a TYPE, emitted before
+    its first sample, and TYPE is counter|gauge|histogram
+  * counter values are non-negative
+  * histograms: bucket `le` bounds strictly increase and end at +Inf,
+    cumulative bucket counts are monotone non-decreasing, the +Inf count
+    equals `<name>_count`, and `<name>_sum` exists
+
+Usage: check_prometheus.py [FILE]   (reads stdin without FILE)
+Exit 0 when valid; exit 1 with one line per violation otherwise.
+"""
+
+import math
+import re
+import sys
+
+SERIES_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+HELP_RE = re.compile(r"^# HELP (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<text>.*)$")
+TYPE_RE = re.compile(
+    r"^# TYPE (?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*) (?P<kind>\S+)$"
+)
+LE_RE = re.compile(r'(?:^|,)le="(?P<le>[^"]+)"')
+VALID_KINDS = {"counter", "gauge", "histogram"}
+
+
+def base_name(name, types):
+    """Map histogram child series (_bucket/_sum/_count) to the base name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return name
+
+
+def check(lines):
+    errors = []
+    helps = {}
+    types = {}
+    # series id -> value, in order, for histogram coherence checks
+    samples = []
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+
+        def err(msg):
+            errors.append(f"line {lineno}: {msg}: {line!r}")
+
+        if line.startswith("#"):
+            h = HELP_RE.match(line)
+            t = TYPE_RE.match(line)
+            if h:
+                if h.group("name") in helps:
+                    err("duplicate HELP for " + h.group("name"))
+                helps[h.group("name")] = h.group("text")
+            elif t:
+                if t.group("name") in types:
+                    err("duplicate TYPE for " + t.group("name"))
+                if t.group("kind") not in VALID_KINDS:
+                    err("invalid TYPE kind " + t.group("kind"))
+                types[t.group("name")] = t.group("kind")
+            else:
+                err("malformed comment (expected # HELP or # TYPE)")
+            continue
+
+        m = SERIES_RE.match(line)
+        if not m:
+            err("malformed sample line")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err("non-numeric sample value")
+            continue
+        if math.isnan(value):
+            err("NaN sample value")
+            continue
+        name = m.group("name")
+        base = base_name(name, types)
+        if base not in types:
+            errors.append(f"line {lineno}: sample '{name}' has no # TYPE")
+        if base not in helps:
+            errors.append(f"line {lineno}: sample '{name}' has no # HELP")
+        if types.get(base) == "counter" and value < 0:
+            err("negative counter value")
+        samples.append((lineno, name, m.group("labels") or "", value))
+
+    errors.extend(check_histograms(samples, types))
+    return errors
+
+
+def histogram_key(labels):
+    """Labels minus the le pair: one histogram per remaining label set."""
+    return ",".join(
+        p for p in labels.split(",") if p and not p.startswith("le=")
+    )
+
+
+def check_histograms(samples, types):
+    errors = []
+    # (base, key) -> list of (lineno, le, cumulative count)
+    buckets = {}
+    sums = {}
+    counts = {}
+    for lineno, name, labels, value in samples:
+        base = base_name(name, types)
+        if types.get(base) != "histogram":
+            continue
+        key = (base, histogram_key(labels))
+        if name.endswith("_bucket"):
+            le = LE_RE.search(labels)
+            if not le:
+                errors.append(f"line {lineno}: bucket series without le label")
+                continue
+            bound = (
+                math.inf if le.group("le") == "+Inf" else float(le.group("le"))
+            )
+            buckets.setdefault(key, []).append((lineno, bound, value))
+        elif name.endswith("_sum"):
+            sums[key] = (lineno, value)
+        elif name.endswith("_count"):
+            counts[key] = (lineno, value)
+
+    for key, rows in buckets.items():
+        base, labels = key
+        ident = base + ("{" + labels + "}" if labels else "")
+        prev_bound = -math.inf
+        prev_count = -math.inf
+        for lineno, bound, count in rows:
+            if bound <= prev_bound:
+                errors.append(
+                    f"line {lineno}: {ident} le bounds not increasing"
+                )
+            if count < prev_count:
+                errors.append(
+                    f"line {lineno}: {ident} cumulative bucket count decreased"
+                )
+            prev_bound, prev_count = bound, count
+        if rows[-1][1] != math.inf:
+            errors.append(f"{ident}: last bucket is not le=\"+Inf\"")
+        if key not in sums:
+            errors.append(f"{ident}: missing _sum series")
+        if key not in counts:
+            errors.append(f"{ident}: missing _count series")
+        elif counts[key][1] != rows[-1][2]:
+            errors.append(
+                f"{ident}: _count {counts[key][1]} != +Inf bucket {rows[-1][2]}"
+            )
+    return errors
+
+
+def main(argv):
+    if len(argv) > 2 or (len(argv) == 2 and argv[1].startswith("-")):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if len(argv) == 2:
+        with open(argv[1], encoding="utf-8") as fh:
+            lines = fh.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    if not any(line.strip() for line in lines):
+        print("check_prometheus: empty exposition", file=sys.stderr)
+        return 1
+    errors = check(lines)
+    for e in errors:
+        print(f"check_prometheus: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    n_samples = sum(
+        1 for l in lines if l.strip() and not l.startswith("#")
+    )
+    print(f"check_prometheus: OK ({n_samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,12 +10,16 @@
 #      (and friends) may appear only under src/core/ — everywhere else
 #      use hpcarbon::AnnotatedMutex + MutexLock from
 #      core/thread_annotations.h.
-#   3. Allocation lint (grep): the serve hot path and the JSON core are
+#   3. Naked-counter lint (grep): operational counters in src/serve and
+#      src/net must be obs::MetricsRegistry instruments (named, striped,
+#      scrapable) — a raw 64-bit std::atomic counter there is invisible
+#      to {"op":"metrics"} and the Prometheus scrape, so it is rejected.
+#   4. Allocation lint (grep): the serve hot path and the JSON core are
 #      allocation-disciplined (arena/pooled nodes, reusable buffers) —
 #      raw `malloc`/`calloc`/`realloc` and array `new[...]` in src/serve
 #      or src/core/json.* are diffed against tools/alloc_baseline.txt,
 #      so only NEW raw allocations fail (same ratchet as clang-tidy).
-#   4. clang-tidy (see .clang-tidy for the curated check set), diffed
+#   5. clang-tidy (see .clang-tidy for the curated check set), diffed
 #      against tools/lint_baseline.txt: only NEW (file, check) pairs
 #      fail, so the gate ratchets without demanding a big-bang cleanup.
 #      Skipped with a notice when clang-tidy is not installed (the
@@ -86,7 +90,29 @@ mutex_lint() {
   echo "naked-mutex lint OK"
 }
 
-# --- 3. allocation lint (hot-path ratchet) ----------------------------------
+# --- 3. naked-counter lint --------------------------------------------------
+
+# Operational counters in the serving stack must live in the obs
+# MetricsRegistry (src/obs/metrics.h): named, striped, and visible to
+# {"op":"metrics"} / the Prometheus scrape. A raw 64-bit std::atomic in
+# src/serve or src/net is an invisible counter — rejected. Narrow atomics
+# (flags, generation counters like atomic<bool>/atomic<uint32_t>) are
+# control-flow state, not metrics, and stay allowed.
+counter_lint() {
+  local matches
+  matches="$(grep -rnE --include='*.h' --include='*.cpp' \
+    'std::atomic<[[:space:]]*((std::)?u?int64_t|(std::)?size_t|unsigned long( long)?|long long)[[:space:]]*>' \
+    "$ROOT/src/serve" "$ROOT/src/net" || true)"
+  if [[ -n "$matches" ]]; then
+    echo "naked-counter lint FAILED — raw 64-bit std::atomic counters in src/serve or src/net:" >&2
+    echo "$matches" >&2
+    echo "(register an obs::Counter/Gauge/Histogram in the MetricsRegistry instead — src/obs/metrics.h — so the count is named, scrapable, and striped)" >&2
+    return 1
+  fi
+  echo "naked-counter lint OK"
+}
+
+# --- 4. allocation lint (hot-path ratchet) ----------------------------------
 
 ALLOC_BASELINE="$ROOT/tools/alloc_baseline.txt"
 
@@ -136,7 +162,8 @@ alloc_lint() {
 self_test() {
   local seeded="$ROOT/src/lint_selftest_seeded_violation.cpp"
   local seeded_alloc="$ROOT/src/serve/lint_selftest_seeded_violation.cpp"
-  trap 'rm -f "$seeded" "$seeded_alloc"' RETURN
+  local seeded_counter="$ROOT/src/net/lint_selftest_seeded_violation.cpp"
+  trap 'rm -f "$seeded" "$seeded_alloc" "$seeded_counter"' RETURN
   cat > "$seeded" <<'EOF'
 // Transient file written by tools/lint.sh --self-test; never compiled.
 #include <ctime>
@@ -150,6 +177,12 @@ EOF
 void* selftest_raw_alloc() { return malloc(64); }
 char* selftest_array_new() { return new char[64]; }
 EOF
+  cat > "$seeded_counter" <<'EOF'
+// Transient file written by tools/lint.sh --self-test; never compiled.
+#include <atomic>
+#include <cstdint>
+static std::atomic<std::uint64_t> selftest_naked_counter{0};
+EOF
   if determinism_lint >/dev/null 2>&1; then
     echo "lint self-test FAILED: determinism lint accepted a seeded time(nullptr)" >&2
     return 1
@@ -162,7 +195,11 @@ EOF
     echo "lint self-test FAILED: allocation lint accepted seeded malloc/new[] in src/serve" >&2
     return 1
   fi
-  rm -f "$seeded" "$seeded_alloc"
+  if counter_lint >/dev/null 2>&1; then
+    echo "lint self-test FAILED: counter lint accepted a seeded std::atomic<uint64_t> in src/net" >&2
+    return 1
+  fi
+  rm -f "$seeded" "$seeded_alloc" "$seeded_counter"
   echo "lint self-test OK — the gate rejects seeded violations"
 }
 
@@ -261,6 +298,7 @@ rc=0
 if [[ "$MODE" != tidy ]]; then
   determinism_lint || rc=1
   mutex_lint || rc=1
+  counter_lint || rc=1
   alloc_lint || rc=1
 fi
 if [[ "$MODE" != scripts ]]; then
